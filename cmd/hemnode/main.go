@@ -1,0 +1,159 @@
+// Command hemnode runs a configurable battery-less sensor-node campaign:
+// a weather trace powers the node while recognition jobs execute under a
+// chosen energy-management policy. It is the flag-driven version of the
+// sensornode example, for exploring scenarios without editing code.
+//
+// Usage:
+//
+//	hemnode [-duration 6] [-seed 7] [-policy tracked|fixed|mep]
+//	        [-cloudiness 0.4] [-cap 100e-6] [-csv trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/imgproc"
+	"repro/internal/plot"
+	"repro/internal/pv"
+	"repro/internal/reg"
+	"repro/internal/weather"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hemnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hemnode", flag.ContinueOnError)
+	var (
+		duration   = fs.Float64("duration", 4.0, "campaign length (simulated seconds)")
+		seed       = fs.Int64("seed", 7, "weather random seed")
+		policy     = fs.String("policy", "tracked", "energy policy: tracked, fixed, or mep")
+		cloudiness = fs.Float64("cloudiness", 0.4, "fraction of time under cloud (0..0.9)")
+		capacity   = fs.Float64("cap", 100e-6, "storage capacitance (farads)")
+		csvPath    = fs.String("csv", "", "write the irradiance trace to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *duration <= 0 || *capacity <= 0 {
+		return fmt.Errorf("duration and cap must be positive")
+	}
+	if *cloudiness < 0 || *cloudiness > 0.9 {
+		return fmt.Errorf("cloudiness %g out of [0, 0.9]", *cloudiness)
+	}
+
+	// Weather: dwell times chosen so the cloudy fraction matches the flag.
+	clearDwell := 2.0 * (1 - *cloudiness)
+	cloudyDwell := 2.0 * *cloudiness
+	if cloudyDwell == 0 {
+		cloudyDwell = 1e-9
+	}
+	gen := weather.NewGenerator(rand.New(rand.NewSource(*seed)),
+		weather.WithDwellTimes(clearDwell, cloudyDwell),
+		weather.WithCloudAttenuation(0.2, 0.07),
+		weather.WithRelaxationTime(0.3),
+	)
+	trace, err := gen.Trace(*duration, 0.005, nil)
+	if err != nil {
+		return fmt.Errorf("weather: %w", err)
+	}
+	minIrr, meanIrr, maxIrr := trace.Stats()
+	fmt.Fprintf(stdout, "weather: %.1f s, light min/mean/max = %.0f%%/%.0f%%/%.0f%%\n",
+		*duration, minIrr*100, meanIrr*100, maxIrr*100)
+	if *csvPath != "" {
+		if err := writeTraceCSV(*csvPath, trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *csvPath)
+	}
+
+	cell := pv.NewCell()
+	proc := cpu.NewProcessor()
+	sc := reg.NewSC()
+	storage, err := cap.New(*capacity, 1.0, 2.0)
+	if err != nil {
+		return fmt.Errorf("capacitor: %w", err)
+	}
+
+	var cycles, harvested float64
+	switch *policy {
+	case "tracked":
+		mgr := core.NewManager(core.NewSystem(cell, proc), sc)
+		res, err := mgr.RunTracked(core.TrackedRunConfig{
+			Cap:        storage,
+			Irradiance: trace.At,
+			Levels:     []float64{0.02, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0},
+			V1:         0.95,
+			V2:         0.85,
+			Duration:   *duration,
+			Step:       20e-6,
+		})
+		if err != nil {
+			return fmt.Errorf("tracked run: %w", err)
+		}
+		cycles, harvested = res.Outcome.CyclesDone, res.Outcome.EnergyHarvested
+		fmt.Fprintf(stdout, "tracker: %d estimates, %d retargets\n", len(res.Estimates), res.Retargets)
+	case "fixed", "mep":
+		supply := 0.55
+		if *policy == "mep" {
+			supply, _ = proc.ConventionalMEP()
+		}
+		sim, err := circuit.New(circuit.Config{
+			Cell:       cell,
+			Proc:       proc,
+			Reg:        sc,
+			Cap:        storage,
+			Irradiance: trace.At,
+			Controller: &circuit.FixedPoint{Supply: supply},
+			Step:       20e-6,
+			MaxTime:    *duration,
+		})
+		if err != nil {
+			return fmt.Errorf("assemble: %w", err)
+		}
+		out, err := sim.Run()
+		if err != nil {
+			return fmt.Errorf("run: %w", err)
+		}
+		cycles, harvested = out.CyclesDone, out.EnergyHarvested
+	default:
+		return fmt.Errorf("unknown policy %q (want tracked, fixed, or mep)", *policy)
+	}
+
+	frame := float64(imgproc.DefaultCostModel().FrameCycles(64, 64, 512, imgproc.NumClasses))
+	fmt.Fprintf(stdout, "policy %q: %.2f G cycles executed = %.0f recognition frames\n",
+		*policy, cycles/1e9, cycles/frame)
+	fmt.Fprintf(stdout, "energy harvested: %.1f mJ; storage left at %.2f V\n",
+		harvested*1e3, storage.Voltage())
+	return nil
+}
+
+// writeTraceCSV exports the irradiance trace.
+func writeTraceCSV(path string, tr *weather.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s := plot.Series{Name: "irradiance"}
+	for i, v := range tr.Samples {
+		s.X = append(s.X, float64(i)*tr.Step)
+		s.Y = append(s.Y, v)
+	}
+	if err := plot.WriteCSV(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}

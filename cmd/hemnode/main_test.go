@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTrackedPolicy(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-duration", "0.5", "-policy", "tracked"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"weather:", "tracker:", "recognition frames", "energy harvested"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFixedAndMEPPolicies(t *testing.T) {
+	for _, policy := range []string{"fixed", "mep"} {
+		var b strings.Builder
+		if err := run([]string{"-duration", "0.3", "-policy", policy}, &b); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !strings.Contains(b.String(), "policy \""+policy+"\"") {
+			t.Errorf("%s: summary missing", policy)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-duration", "-1"}, &b); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if err := run([]string{"-cloudiness", "2"}, &b); err == nil {
+		t.Error("absurd cloudiness accepted")
+	}
+	if err := run([]string{"-duration", "0.2", "-policy", "nonsense"}, &b); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-duration", "0.3", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-duration", "0.3", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different campaigns")
+	}
+}
+
+func TestTraceCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	var b strings.Builder
+	if err := run([]string{"-duration", "0.2", "-csv", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y\n") {
+		t.Error("csv header missing")
+	}
+	if !strings.Contains(string(data), "irradiance") {
+		t.Error("csv series missing")
+	}
+}

@@ -1,0 +1,103 @@
+// Command hemsim regenerates the paper's evaluation figures from the
+// calibrated models. Run with an experiment ID (fig2 ... fig11b, headline),
+// a comma-separated list, or "all".
+//
+// Usage:
+//
+//	hemsim [-list] [-csv dir] [experiment...]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hemsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hemsim", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available experiments and exit")
+	csvDir := fs.String("csv", "", "also write each experiment's series to <dir>/<id>.csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	registry := expt.Registry()
+	if *list {
+		for _, name := range expt.Names() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	var ids []string
+	for _, t := range targets {
+		for _, id := range strings.Split(t, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if id == "all" {
+				ids = append(ids, expt.Names()...)
+				continue
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for i, id := range ids {
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		if err := runner(stdout); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeCSV exports one experiment's series to <dir>/<id>.csv, skipping
+// experiments that only produce summary metrics.
+func writeCSV(dir, id string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create csv dir: %w", err)
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := expt.WriteCSV(id, f); err != nil {
+		if errors.Is(err, expt.ErrNoSeries) {
+			os.Remove(path)
+			return nil
+		}
+		return fmt.Errorf("csv %s: %w", id, err)
+	}
+	return f.Close()
+}

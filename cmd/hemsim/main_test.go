@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig2", "fig7b", "fig11b", "headline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "LDO") {
+		t.Error("fig3 report missing LDO")
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig3,fig4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "Fig. 4") {
+		t.Error("combined run missing a report")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig99"}, &b); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-csv", dir, "fig2,headline"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatalf("fig2.csv missing: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y\n") {
+		t.Error("csv header missing")
+	}
+	if !strings.Contains(string(data), "full sun") {
+		t.Error("csv content missing")
+	}
+	// headline has no series: no file, no error.
+	if _, err := os.Stat(filepath.Join(dir, "headline.csv")); !os.IsNotExist(err) {
+		t.Error("headline.csv should not exist")
+	}
+}

@@ -1,0 +1,563 @@
+// Package circuit is a fixed-timestep transient simulator of the paper's
+// battery-less power network: a photovoltaic cell charging a storage
+// capacitor, from which the microprocessor draws either through an on-chip
+// regulator or directly (bypass mode). It integrates the node equation
+//
+//	C * dVcap/dt = Ipv(Vcap, irradiance(t)) - Iload(Vcap)
+//
+// with comparator threshold-crossing events delivered to a pluggable
+// Controller, and records waveform traces. This replaces the paper's test
+// PCB and Cadence Virtuoso transient simulations (Fig. 8, Fig. 11b).
+//
+// All quantities use SI units: volts, amps, watts, seconds, joules, hertz.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cap"
+	"repro/internal/cpu"
+	"repro/internal/pv"
+	"repro/internal/reg"
+)
+
+// Errors returned by this package.
+var (
+	// ErrMissingComponent indicates a Config without a required component.
+	ErrMissingComponent = errors.New("circuit: missing required component")
+
+	// ErrInvalidStep indicates a non-positive integration step or horizon.
+	ErrInvalidStep = errors.New("circuit: step and max time must be positive")
+)
+
+// Storage is the energy store at the harvester node. *cap.Capacitor is the
+// canonical implementation; cap.Federation (multiple capacitors behind a
+// selector switch) also satisfies it.
+type Storage interface {
+	// Voltage returns the node voltage (V).
+	Voltage() float64
+	// ApplyCurrent integrates a net charging current (A) over dt seconds
+	// and returns the new voltage.
+	ApplyCurrent(current, dt float64) float64
+	// Capacitance returns the effective capacitance at the node (F).
+	Capacitance() float64
+	// Energy returns the stored energy (J).
+	Energy() float64
+}
+
+var _ Storage = (*cap.Capacitor)(nil)
+
+// Comparator is a voltage comparator watching the capacitor node, as placed
+// on the paper's test PCB to serve as the energy monitor. Hysteresis
+// prevents event chatter around the threshold.
+type Comparator struct {
+	Threshold  float64 // trip voltage (V)
+	Hysteresis float64 // total hysteresis band (V), centred on Threshold
+}
+
+// ThresholdEvent reports a comparator crossing.
+type ThresholdEvent struct {
+	Index     int     // index into Config.Comparators
+	Threshold float64 // the comparator's trip voltage (V)
+	Rising    bool    // true when the node crossed upward
+	Time      float64 // simulation time of the crossing (s)
+}
+
+// Controller reacts to simulation progress by adjusting the DVFS point and
+// the regulator/bypass mode. Implementations must only mutate the
+// simulation through the State mutators.
+type Controller interface {
+	// Init is called once before the first step.
+	Init(s *State)
+	// OnStep is called after every integration step.
+	OnStep(s *State)
+	// OnThreshold is called when a comparator fires, after OnStep.
+	OnThreshold(s *State, ev ThresholdEvent)
+}
+
+// Sample is one recorded trace point.
+type Sample struct {
+	Time       float64 // (s)
+	CapVoltage float64 // solar/storage node voltage (V)
+	Supply     float64 // effective processor supply (V)
+	Frequency  float64 // effective clock frequency (Hz)
+	SolarPower float64 // power harvested from the cell (W)
+	LoadPower  float64 // power consumed by the processor (W)
+	Bypass     bool    // regulator bypassed
+	Halted     bool    // processor halted (supply below minimum)
+}
+
+// Trace is a recorded waveform.
+type Trace struct {
+	Samples []Sample
+}
+
+// EventKind labels a recorded mode transition.
+type EventKind int
+
+// Event kinds. Values start at 1 so the zero value is invalid.
+const (
+	EventBypassOn  EventKind = iota + 1 // regulator bypassed
+	EventBypassOff                      // regulated operation restored
+	EventHalt                           // processor halted (supply below minimum)
+	EventResume                         // processor resumed after a halt
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventBypassOn:
+		return "bypass-on"
+	case EventBypassOff:
+		return "bypass-off"
+	case EventHalt:
+		return "halt"
+	case EventResume:
+		return "resume"
+	default:
+		return "event?"
+	}
+}
+
+// Event is one recorded mode transition.
+type Event struct {
+	Time float64
+	Kind EventKind
+}
+
+// Outcome summarises a completed simulation run.
+type Outcome struct {
+	Completed       bool    // the job's cycle budget was reached
+	CompletionTime  float64 // time the job finished (s), valid if Completed
+	BrownedOut      bool    // the processor halted before finishing
+	BrownoutTime    float64 // first halt time (s), valid if BrownedOut
+	Duration        float64 // total simulated time (s)
+	CyclesDone      float64 // clock cycles executed
+	EnergyHarvested float64 // energy drawn from the cell (J)
+	EnergyDelivered float64 // energy consumed by the processor (J)
+	EnergyLost      float64 // conversion losses in the regulator (J)
+	EnergyAux       float64 // energy drawn by the auxiliary load (J)
+	FinalCapVoltage float64 // node voltage at the end (V)
+	Stopped         bool    // a controller requested the stop
+	StopReason      string  // reason passed to State.Stop
+	StoppedAt       float64 // time of the controller stop (s)
+	Events          []Event // mode transitions in time order
+	Trace           *Trace  // nil unless tracing was enabled
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Cell *pv.Cell       // harvester (required)
+	Proc *cpu.Processor // load (required)
+	Reg  reg.Regulator  // regulator for non-bypass mode (required)
+	Cap  Storage        // storage node (required)
+
+	// Irradiance returns the light level (fraction of full sun) at time t.
+	// Required.
+	Irradiance func(t float64) float64
+
+	// Controller drives DVFS and mode decisions. Required.
+	Controller Controller
+
+	// Comparators watch the capacitor node.
+	Comparators []Comparator
+
+	// AuxLoad, when non-nil, draws additional power (W) directly from the
+	// storage node at time t — radio transmit bursts, sensor sampling, or
+	// any peripheral outside the processor's regulator. Negative values are
+	// treated as zero.
+	AuxLoad func(t float64) float64
+
+	// ClockLevels, when non-empty, quantises the commanded clock to the
+	// given frequencies (Hz): the effective clock is the highest level at
+	// or below the command (0 when the command is below every level). The
+	// paper's test chip has a discrete clock generator (Fig. 10); an empty
+	// slice models an ideal continuously-tunable clock.
+	ClockLevels []float64
+
+	// Step is the integration timestep (s). Required, > 0.
+	Step float64
+
+	// MaxTime is the simulation horizon (s). Required, > 0.
+	MaxTime float64
+
+	// JobCycles is the clock-cycle budget of the workload; the simulation
+	// stops when it is reached. Zero runs to MaxTime.
+	JobCycles float64
+
+	// TraceEvery records one trace sample every n steps; 0 disables tracing.
+	TraceEvery int
+
+	// StopOnBrownout ends the run at the first processor halt when true;
+	// otherwise the simulation continues (the node may recover).
+	StopOnBrownout bool
+}
+
+// State is the live simulation state exposed to controllers.
+type State struct {
+	cfg Config
+
+	time       float64
+	freqTarget float64 // commanded clock frequency (Hz)
+	vddTarget  float64 // commanded supply voltage (V)
+	bypass     bool
+
+	// Derived per step:
+	effSupply float64 // effective supply voltage after dropout limiting (V)
+	effFreq   float64 // effective clock frequency (Hz)
+	halted    bool
+	solarPow  float64
+	loadPow   float64
+	inputPow  float64
+
+	cyclesDone float64
+	compAbove  []bool
+
+	stopRequested bool
+	stopReason    string
+
+	outcome Outcome
+}
+
+// Stop ends the simulation at the end of the current step, e.g. when a
+// controller declares the mission failed (regulator dropout without a
+// bypass path). The reason is recorded in the Outcome.
+func (s *State) Stop(reason string) {
+	s.stopRequested = true
+	if s.stopReason == "" {
+		s.stopReason = reason
+	}
+}
+
+// Time returns the current simulation time (s).
+func (s *State) Time() float64 { return s.time }
+
+// CapVoltage returns the solar/storage node voltage (V).
+func (s *State) CapVoltage() float64 { return s.cfg.Cap.Voltage() }
+
+// Supply returns the effective processor supply voltage (V).
+func (s *State) Supply() float64 { return s.effSupply }
+
+// Frequency returns the effective clock frequency (Hz).
+func (s *State) Frequency() float64 { return s.effFreq }
+
+// CyclesDone returns the clock cycles executed so far.
+func (s *State) CyclesDone() float64 { return s.cyclesDone }
+
+// JobCycles returns the configured cycle budget (0 if none).
+func (s *State) JobCycles() float64 { return s.cfg.JobCycles }
+
+// Bypassed reports whether the regulator is bypassed.
+func (s *State) Bypassed() bool { return s.bypass }
+
+// LoadPower returns the power (W) the processor consumed in the last step.
+func (s *State) LoadPower() float64 { return s.loadPow }
+
+// InputPower returns the power (W) drawn from the storage node in the last
+// step (load power plus conversion losses).
+func (s *State) InputPower() float64 { return s.inputPow }
+
+// Step returns the integration timestep (s).
+func (s *State) Step() float64 { return s.cfg.Step }
+
+// ComparatorThreshold returns the trip voltage (V) of the comparator at the
+// given index, or 0 if the index is out of range.
+func (s *State) ComparatorThreshold(index int) float64 {
+	if index < 0 || index >= len(s.cfg.Comparators) {
+		return 0
+	}
+	return s.cfg.Comparators[index].Threshold
+}
+
+// Halted reports whether the processor is currently halted.
+func (s *State) Halted() bool { return s.halted }
+
+// Processor returns the processor model, for controllers that plan with it.
+func (s *State) Processor() *cpu.Processor { return s.cfg.Proc }
+
+// Regulator returns the regulator model.
+func (s *State) Regulator() reg.Regulator { return s.cfg.Reg }
+
+// Capacitor returns the storage capacitor.
+func (s *State) Capacitor() Storage { return s.cfg.Cap }
+
+// SetFrequency commands the clock frequency (Hz). The effective frequency
+// is additionally capped by the supply voltage's maximum.
+func (s *State) SetFrequency(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	s.freqTarget = f
+}
+
+// SetSupply commands the regulator output voltage (V). Ignored in bypass
+// mode, where the supply tracks the capacitor node.
+func (s *State) SetSupply(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	s.vddTarget = v
+}
+
+// SetBypass switches between regulated and direct-connection operation.
+func (s *State) SetBypass(on bool) { s.bypass = on }
+
+// Simulator runs a configured transient simulation.
+type Simulator struct {
+	state State
+}
+
+// New validates the configuration and returns a ready simulator.
+func New(cfg Config) (*Simulator, error) {
+	switch {
+	case cfg.Cell == nil:
+		return nil, fmt.Errorf("%w: Cell", ErrMissingComponent)
+	case cfg.Proc == nil:
+		return nil, fmt.Errorf("%w: Proc", ErrMissingComponent)
+	case cfg.Reg == nil:
+		return nil, fmt.Errorf("%w: Reg", ErrMissingComponent)
+	case cfg.Cap == nil:
+		return nil, fmt.Errorf("%w: Cap", ErrMissingComponent)
+	case cfg.Irradiance == nil:
+		return nil, fmt.Errorf("%w: Irradiance", ErrMissingComponent)
+	case cfg.Controller == nil:
+		return nil, fmt.Errorf("%w: Controller", ErrMissingComponent)
+	}
+	if cfg.Step <= 0 || cfg.MaxTime <= 0 {
+		return nil, fmt.Errorf("%w: step=%g maxTime=%g", ErrInvalidStep, cfg.Step, cfg.MaxTime)
+	}
+	sim := &Simulator{}
+	sim.state.cfg = cfg
+	if len(cfg.ClockLevels) > 0 {
+		// Copy and sort ascending so quantisation is a simple scan.
+		levels := append([]float64(nil), cfg.ClockLevels...)
+		sort.Float64s(levels)
+		sim.state.cfg.ClockLevels = levels
+	}
+	sim.state.compAbove = make([]bool, len(cfg.Comparators))
+	return sim, nil
+}
+
+// Run integrates the network until the job completes, the horizon elapses,
+// or (with StopOnBrownout) the processor halts. It may be called once.
+func (s *Simulator) Run() (*Outcome, error) {
+	st := &s.state
+	cfg := &st.cfg
+
+	var trace *Trace
+	if cfg.TraceEvery > 0 {
+		trace = &Trace{}
+	}
+
+	// Initialise comparator states from the starting voltage.
+	v0 := cfg.Cap.Voltage()
+	for i, c := range cfg.Comparators {
+		st.compAbove[i] = v0 > c.Threshold
+	}
+
+	cfg.Controller.Init(st)
+
+	prevBypass := st.bypass
+	prevHalted := false
+
+	steps := int(math.Ceil(cfg.MaxTime / cfg.Step))
+	for k := 0; k < steps; k++ {
+		st.time = float64(k) * cfg.Step
+		irr := cfg.Irradiance(st.time)
+
+		vcap := cfg.Cap.Voltage()
+		st.resolveOperatingPoint(vcap)
+
+		// Record mode transitions.
+		if st.bypass != prevBypass {
+			kind := EventBypassOn
+			if !st.bypass {
+				kind = EventBypassOff
+			}
+			st.outcome.Events = append(st.outcome.Events, Event{Time: st.time, Kind: kind})
+			prevBypass = st.bypass
+		}
+		if st.halted != prevHalted {
+			kind := EventHalt
+			if !st.halted {
+				kind = EventResume
+			}
+			st.outcome.Events = append(st.outcome.Events, Event{Time: st.time, Kind: kind})
+			prevHalted = st.halted
+		}
+
+		// Harvested current at the present node voltage; negative values
+		// (node above Voc) discharge into the cell's diode.
+		iSolar := cfg.Cell.Current(vcap, irr)
+		var aux float64
+		if cfg.AuxLoad != nil {
+			if aux = cfg.AuxLoad(st.time); aux < 0 {
+				aux = 0
+			}
+			if vcap <= 0 {
+				aux = 0 // a collapsed node powers nothing
+			}
+		}
+		var iLoad float64
+		if vcap > 0 {
+			iLoad = (st.inputPow + aux) / vcap
+		}
+		cfg.Cap.ApplyCurrent(iSolar-iLoad, cfg.Step)
+		st.outcome.EnergyAux += aux * cfg.Step
+
+		// Energy and progress accounting.
+		st.solarPow = vcap * iSolar
+		if st.solarPow > 0 {
+			st.outcome.EnergyHarvested += st.solarPow * cfg.Step
+		}
+		st.outcome.EnergyDelivered += st.loadPow * cfg.Step
+		if loss := st.inputPow - st.loadPow; loss > 0 {
+			st.outcome.EnergyLost += loss * cfg.Step
+		}
+		st.cyclesDone += st.effFreq * cfg.Step
+
+		if st.halted && !st.outcome.BrownedOut {
+			st.outcome.BrownedOut = true
+			st.outcome.BrownoutTime = st.time
+		}
+
+		if trace != nil && k%cfg.TraceEvery == 0 {
+			trace.Samples = append(trace.Samples, Sample{
+				Time:       st.time,
+				CapVoltage: cfg.Cap.Voltage(),
+				Supply:     st.effSupply,
+				Frequency:  st.effFreq,
+				SolarPower: st.solarPow,
+				LoadPower:  st.loadPow,
+				Bypass:     st.bypass,
+				Halted:     st.halted,
+			})
+		}
+
+		cfg.Controller.OnStep(st)
+		st.fireComparators(cfg.Cap.Voltage())
+
+		if cfg.JobCycles > 0 && st.cyclesDone >= cfg.JobCycles {
+			st.outcome.Completed = true
+			st.outcome.CompletionTime = st.time + cfg.Step
+			break
+		}
+		if cfg.StopOnBrownout && st.outcome.BrownedOut {
+			break
+		}
+		if st.stopRequested {
+			st.outcome.Stopped = true
+			st.outcome.StopReason = st.stopReason
+			st.outcome.StoppedAt = st.time
+			break
+		}
+	}
+
+	st.outcome.Duration = st.time + cfg.Step
+	st.outcome.CyclesDone = st.cyclesDone
+	st.outcome.FinalCapVoltage = cfg.Cap.Voltage()
+	st.outcome.Trace = trace
+	return &st.outcome, nil
+}
+
+// resolveOperatingPoint computes the effective supply, frequency and power
+// flows for the current commanded point and node voltage.
+func (st *State) resolveOperatingPoint(vcap float64) {
+	cfg := &st.cfg
+	proc := cfg.Proc
+
+	if st.bypass {
+		// Direct connection: supply equals the node voltage, capped at the
+		// processor's rated maximum (a clamp protects the core).
+		supply := math.Min(vcap, proc.MaxVoltage())
+		st.effSupply = supply
+		if supply < proc.MinVoltage() {
+			st.halted = true
+			st.effFreq = 0
+			st.loadPow = proc.LeakagePower(supply)
+			st.inputPow = st.loadPow
+			return
+		}
+		st.halted = false
+		st.effFreq = st.quantizeClock(math.Min(st.freqTarget, proc.MaxFrequency(supply)))
+		st.loadPow = proc.Power(supply, st.effFreq)
+		st.inputPow = st.loadPow
+		return
+	}
+
+	// Regulated: the output tracks the command but cannot exceed what the
+	// regulator reaches from the present input voltage (dropout limiting).
+	lo, hi := cfg.Reg.OutputRange(vcap)
+	supply := st.vddTarget
+	if supply > hi {
+		supply = hi
+	}
+	if supply < lo || supply <= 0 {
+		// No regulable output at all: output collapses.
+		st.effSupply = 0
+		st.halted = true
+		st.effFreq = 0
+		st.loadPow = 0
+		st.inputPow = 0
+		return
+	}
+	st.effSupply = supply
+	if supply < proc.MinVoltage() {
+		st.halted = true
+		st.effFreq = 0
+		st.loadPow = proc.LeakagePower(supply)
+	} else {
+		st.halted = false
+		st.effFreq = st.quantizeClock(math.Min(st.freqTarget, proc.MaxFrequency(supply)))
+		st.loadPow = proc.Power(supply, st.effFreq)
+	}
+	eta := cfg.Reg.Efficiency(vcap, supply, st.loadPow)
+	if eta <= 0 {
+		// Load too small or point degenerate: draw only the load power.
+		st.inputPow = st.loadPow
+		return
+	}
+	st.inputPow = st.loadPow / eta
+}
+
+// quantizeClock snaps a commanded frequency to the configured clock levels:
+// the highest level at or below the command, or zero when the command is
+// below every level. With no levels configured the clock is continuous.
+func (st *State) quantizeClock(f float64) float64 {
+	levels := st.cfg.ClockLevels
+	if len(levels) == 0 || f <= 0 {
+		return f
+	}
+	snapped := 0.0
+	for _, l := range levels {
+		if l > f {
+			break
+		}
+		snapped = l
+	}
+	return snapped
+}
+
+// fireComparators detects threshold crossings with hysteresis and delivers
+// events to the controller.
+func (st *State) fireComparators(v float64) {
+	for i, c := range st.cfg.Comparators {
+		half := 0.5 * c.Hysteresis
+		if st.compAbove[i] {
+			if v < c.Threshold-half {
+				st.compAbove[i] = false
+				st.cfg.Controller.OnThreshold(st, ThresholdEvent{
+					Index: i, Threshold: c.Threshold, Rising: false, Time: st.time,
+				})
+			}
+		} else if v > c.Threshold+half {
+			st.compAbove[i] = true
+			st.cfg.Controller.OnThreshold(st, ThresholdEvent{
+				Index: i, Threshold: c.Threshold, Rising: true, Time: st.time,
+			})
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package circuit
+
+import "math"
+
+// FixedPoint is the simplest controller: it commands one regulated DVFS
+// point and never changes it. Frequency <= 0 means "maximum frequency at
+// the commanded supply".
+type FixedPoint struct {
+	Supply    float64 // commanded regulator output (V)
+	Frequency float64 // commanded clock (Hz); <= 0 selects fmax(Supply)
+}
+
+var _ Controller = (*FixedPoint)(nil)
+
+// Init implements Controller.
+func (c *FixedPoint) Init(s *State) {
+	s.SetBypass(false)
+	s.SetSupply(c.Supply)
+	f := c.Frequency
+	if f <= 0 {
+		f = s.Processor().MaxFrequency(c.Supply)
+	}
+	s.SetFrequency(f)
+}
+
+// OnStep implements Controller.
+func (c *FixedPoint) OnStep(*State) {}
+
+// OnThreshold implements Controller.
+func (c *FixedPoint) OnThreshold(*State, ThresholdEvent) {}
+
+// DirectConnection bypasses the regulator permanently and always runs at
+// the maximum frequency the node voltage allows — the conventional
+// converter-less (passive voltage scaling) operation the paper compares
+// against.
+type DirectConnection struct{}
+
+var _ Controller = DirectConnection{}
+
+// Init implements Controller.
+func (DirectConnection) Init(s *State) {
+	s.SetBypass(true)
+	s.SetFrequency(math.Inf(1)) // effective frequency clamps to fmax(Vcap)
+}
+
+// OnStep implements Controller: keep requesting full speed; the simulator
+// clamps to the voltage-dependent maximum.
+func (DirectConnection) OnStep(s *State) {
+	s.SetFrequency(math.Inf(1))
+}
+
+// OnThreshold implements Controller.
+func (DirectConnection) OnThreshold(*State, ThresholdEvent) {}
+
+// ConstantIrradiance returns an irradiance profile frozen at the given
+// fraction of full sun.
+func ConstantIrradiance(level float64) func(t float64) float64 {
+	return func(float64) float64 { return level }
+}
+
+// StepIrradiance returns a profile that switches from `before` to `after`
+// at time t0, modelling the paper's "light dimmed due to an obstacle".
+func StepIrradiance(before, after, t0 float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		if t < t0 {
+			return before
+		}
+		return after
+	}
+}
+
+// RampIrradiance returns a profile that fades linearly from `start` at time
+// t0 to `end` at time t1, holding constant outside the window.
+func RampIrradiance(start, end, t0, t1 float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		switch {
+		case t <= t0:
+			return start
+		case t >= t1:
+			return end
+		default:
+			return start + (end-start)*(t-t0)/(t1-t0)
+		}
+	}
+}
+
+// PiecewiseIrradiance builds a profile from (time, level) breakpoints with
+// linear interpolation between them. Breakpoints must be sorted by time;
+// levels hold constant before the first and after the last.
+func PiecewiseIrradiance(times, levels []float64) func(t float64) float64 {
+	n := len(times)
+	if n == 0 || len(levels) != n {
+		return ConstantIrradiance(0)
+	}
+	ts := append([]float64(nil), times...)
+	ls := append([]float64(nil), levels...)
+	return func(t float64) float64 {
+		if t <= ts[0] {
+			return ls[0]
+		}
+		if t >= ts[n-1] {
+			return ls[n-1]
+		}
+		for i := 1; i < n; i++ {
+			if t < ts[i] {
+				frac := (t - ts[i-1]) / (ts[i] - ts[i-1])
+				return ls[i-1] + (ls[i]-ls[i-1])*frac
+			}
+		}
+		return ls[n-1]
+	}
+}
+
+// DayIrradiance returns a half-sine daylight profile: zero before sunrise
+// and after sunset, peaking at `peak` halfway through the day.
+func DayIrradiance(sunrise, sunset, peak float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		if t <= sunrise || t >= sunset || sunset <= sunrise {
+			return 0
+		}
+		phase := (t - sunrise) / (sunset - sunrise)
+		return peak * math.Sin(math.Pi*phase)
+	}
+}

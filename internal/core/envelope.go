@@ -1,0 +1,44 @@
+package core
+
+// EnvelopePoint is one sample of the system's operating envelope: the best
+// achievable operating point at one light level under the holistic policy.
+type EnvelopePoint struct {
+	Irradiance float64
+	Point      Point
+	Bypass     bool // direct connection chosen at this level
+	Runnable   bool // false when even direct connection cannot run
+}
+
+// Envelope sweeps irradiance from lo to hi in n steps and returns the
+// holistic policy's operating map: which mode wins, at what frequency and
+// power. It is the planning surface behind duty-cycled long-horizon
+// operation — and shows the bypass crossover as the mode boundary.
+func (m *Manager) Envelope(lo, hi float64, n int) []EnvelopePoint {
+	if n < 2 || hi <= lo {
+		return nil
+	}
+	pts := make([]EnvelopePoint, 0, n)
+	for k := 0; k < n; k++ {
+		irr := lo + (hi-lo)*float64(k)/float64(n-1)
+		ep := EnvelopePoint{Irradiance: irr}
+		if pt, err := m.PlanPerformance(irr); err == nil {
+			ep.Point = pt
+			ep.Bypass = pt.RegulatorName == "Bypass"
+			ep.Runnable = pt.Frequency > 0
+		}
+		pts = append(pts, ep)
+	}
+	return pts
+}
+
+// BypassBoundary returns the highest swept irradiance at which the envelope
+// still chooses direct connection, or 0 if it never does.
+func BypassBoundary(envelope []EnvelopePoint) float64 {
+	boundary := 0.0
+	for _, ep := range envelope {
+		if ep.Runnable && ep.Bypass && ep.Irradiance > boundary {
+			boundary = ep.Irradiance
+		}
+	}
+	return boundary
+}

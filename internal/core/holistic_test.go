@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/pv"
+	"repro/internal/reg"
+)
+
+func defaultSystem() (*System, *reg.SC, *reg.Buck, *reg.LDO) {
+	return NewSystem(pv.NewCell(), cpu.NewProcessor()), reg.NewSC(), reg.NewBuck(), reg.NewLDO()
+}
+
+func TestUnregulatedPointBalances(t *testing.T) {
+	sys, _, _, _ := defaultSystem()
+	pt, err := sys.UnregulatedPoint(pv.FullSun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The node voltage balances cell supply and processor demand.
+	supply := sys.Cell.Current(pt.SolarVoltage, pv.FullSun)
+	demand := sys.Proc.MaxCurrent(pt.SolarVoltage)
+	if math.Abs(supply-demand)/supply > 1e-3 {
+		t.Errorf("supply %.4g != demand %.4g at %.3f V", supply, demand, pt.SolarVoltage)
+	}
+	// Well below the MPP, as in Fig. 6a.
+	vmpp, pmpp := sys.Cell.MPP(pv.FullSun)
+	if pt.SolarVoltage >= vmpp {
+		t.Errorf("unregulated point %.3f V not below MPP %.3f V", pt.SolarVoltage, vmpp)
+	}
+	if pt.SolarPower >= pmpp {
+		t.Error("unregulated extraction should fall short of the MPP power")
+	}
+	if pt.Frequency <= 0 || pt.EnergyPerCycle <= 0 {
+		t.Error("degenerate unregulated point")
+	}
+}
+
+func TestUnregulatedPointDarkness(t *testing.T) {
+	sys, _, _, _ := defaultSystem()
+	if _, err := sys.UnregulatedPoint(0.001); err == nil {
+		t.Error("want error in near darkness")
+	}
+}
+
+func TestRegulatedBestPointRespectsBudget(t *testing.T) {
+	sys, sc, buck, ldo := defaultSystem()
+	vmpp, pmpp := sys.Cell.MPP(pv.FullSun)
+	for _, r := range []reg.Regulator{sc, buck, ldo} {
+		pt, err := sys.RegulatedBestPoint(r, pv.FullSun)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		// The drawn input power never exceeds the MPP output.
+		draw := pt.LoadPower / pt.Efficiency
+		if draw > pmpp*(1+1e-6) {
+			t.Errorf("%s: draw %.4g exceeds MPP %.4g", r.Name(), draw, pmpp)
+		}
+		// The supply lies within the regulator's reachable window.
+		lo, hi := r.OutputRange(vmpp)
+		if pt.Supply < lo-1e-9 || pt.Supply > hi+1e-9 {
+			t.Errorf("%s: supply %.3f outside [%.3f, %.3f]", r.Name(), pt.Supply, lo, hi)
+		}
+		// And beats a dense grid of alternatives.
+		for v := lo; v <= hi; v += 0.004 {
+			budget, err := reg.OutputPower(r, vmpp, v, pmpp)
+			if err != nil {
+				continue
+			}
+			if f := sys.Proc.FrequencyForPower(v, budget); f > pt.Frequency*(1+1e-4) {
+				t.Fatalf("%s: grid point %.3f V gives %.4g Hz > %.4g Hz", r.Name(), v, f, pt.Frequency)
+			}
+		}
+	}
+}
+
+func TestCompareReproducesFig6b(t *testing.T) {
+	sys, sc, buck, ldo := defaultSystem()
+
+	// SC regulator: the paper quotes ~31% more power and ~18% speedup.
+	// Assert the reproduction bands: delivery +15..+60%, speedup +5..+35%.
+	cmpSC, err := sys.Compare(sc, pv.FullSun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmpSC.DeliveryGain < 0.15 || cmpSC.DeliveryGain > 0.60 {
+		t.Errorf("SC delivery gain %+.1f%%, want +15..+60%% (paper ~+31%%)", cmpSC.DeliveryGain*100)
+	}
+	if cmpSC.Speedup < 0.05 || cmpSC.Speedup > 0.35 {
+		t.Errorf("SC speedup %+.1f%%, want +5..+35%% (paper ~+18%%)", cmpSC.Speedup*100)
+	}
+	if cmpSC.ExtractionGain <= 0 {
+		t.Error("regulated MPP operation must extract more from the cell")
+	}
+
+	// Buck: positive but below SC (paper: "slightly less than SC").
+	cmpBuck, err := sys.Compare(buck, pv.FullSun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmpBuck.Speedup <= 0 {
+		t.Errorf("buck speedup %+.1f%%, want positive", cmpBuck.Speedup*100)
+	}
+	if cmpBuck.Speedup >= cmpSC.Speedup {
+		t.Errorf("buck speedup %+.1f%% >= SC %+.1f%%", cmpBuck.Speedup*100, cmpSC.Speedup*100)
+	}
+
+	// LDO: no benefit (paper: "does not bring any efficiency improvement").
+	cmpLDO, err := sys.Compare(ldo, pv.FullSun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmpLDO.DeliveryGain >= 0 {
+		t.Errorf("LDO delivery gain %+.1f%%, want negative", cmpLDO.DeliveryGain*100)
+	}
+	if cmpLDO.Speedup >= 0 {
+		t.Errorf("LDO speedup %+.1f%%, want negative", cmpLDO.Speedup*100)
+	}
+}
+
+func TestDecideBypassReproducesFig7a(t *testing.T) {
+	sys, sc, _, _ := defaultSystem()
+	// Regulator wins in strong light, loses in weak light.
+	if d := sys.DecideBypass(sc, pv.FullSun); d.Bypass {
+		t.Error("full sun: regulator should win")
+	}
+	if d := sys.DecideBypass(sc, pv.HalfSun); d.Bypass {
+		t.Error("half sun: regulator should win")
+	}
+	if d := sys.DecideBypass(sc, 0.1); !d.Bypass {
+		t.Error("10% light: bypass should win")
+	}
+	// Crossover near the paper's ~25% of full sun (band 15-40%).
+	x := sys.BypassCrossover(sc, 0.02, 1.0)
+	if x < 0.15 || x > 0.40 {
+		t.Errorf("bypass crossover at %.1f%% light, want 15-40%% (paper ~25%%)", x*100)
+	}
+	// Consistency on either side of the crossover.
+	if d := sys.DecideBypass(sc, x*1.2); d.Bypass {
+		t.Error("just above crossover: regulator should win")
+	}
+	if d := sys.DecideBypass(sc, x*0.8); !d.Bypass {
+		t.Error("just below crossover: bypass should win")
+	}
+}
+
+func TestBypassCrossoverDegenerateRanges(t *testing.T) {
+	sys, sc, _, _ := defaultSystem()
+	// A range where the regulator always wins collapses to the lower bound.
+	if x := sys.BypassCrossover(sc, 0.5, 1.0); x != 0.5 {
+		t.Errorf("always-win range: %.3f, want 0.5", x)
+	}
+	// A range where bypass always wins collapses to the upper bound.
+	if x := sys.BypassCrossover(sc, 0.02, 0.1); x != 0.1 {
+		t.Errorf("always-lose range: %.3f, want 0.1", x)
+	}
+}
+
+func TestHolisticMEPReproducesFig7b(t *testing.T) {
+	sys, sc, buck, _ := defaultSystem()
+	vmpp, _ := sys.Cell.MPP(pv.FullSun)
+	for _, r := range []reg.Regulator{sc, buck} {
+		mep, err := sys.HolisticMEP(r, vmpp)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		// Paper: the MEP shifts up by up to ~0.1 V. Band: +0.02..+0.15 V.
+		if mep.VoltageShift < 0.02 || mep.VoltageShift > 0.15 {
+			t.Errorf("%s: MEP shift %+.3f V, want +0.02..+0.15 V (paper up to +0.1 V)", r.Name(), mep.VoltageShift)
+		}
+		// Paper: up to ~31% saving. Band: 5..45%.
+		if mep.Savings < 0.05 || mep.Savings > 0.45 {
+			t.Errorf("%s: savings %.1f%%, want 5-45%% (paper up to ~31%%)", r.Name(), mep.Savings*100)
+		}
+		// The holistic optimum must beat a dense grid on the source-side
+		// objective.
+		for v := sys.Proc.MinVoltage(); v <= 0.9; v += 0.004 {
+			if e := sys.SourceEnergyPerCycle(r, vmpp, v); e < mep.HolisticEnergy*(1-1e-6) {
+				t.Fatalf("%s: grid point %.3f V has energy %.4g < optimum %.4g", r.Name(), v, e, mep.HolisticEnergy)
+			}
+		}
+	}
+}
+
+func TestSourceEnergyUnreachable(t *testing.T) {
+	sys, sc, _, _ := defaultSystem()
+	// Above the SC's reachable output from a 1.0 V input: +Inf.
+	if e := sys.SourceEnergyPerCycle(sc, 1.0, 0.95); !math.IsInf(e, 1) {
+		t.Errorf("unreachable point energy = %g, want +Inf", e)
+	}
+}
+
+func TestMaximizeScan(t *testing.T) {
+	// Smooth concave function: exact optimum.
+	x, fx := maximizeScan(0, 2, func(x float64) float64 { return -(x - 1.3) * (x - 1.3) })
+	if math.Abs(x-1.3) > 1e-4 || fx > 1e-8 {
+		t.Errorf("parabola optimum at %.5f (f=%.3g), want 1.3", x, fx)
+	}
+	// Piecewise function with a sharp edge (like an SC scallop).
+	saw := func(x float64) float64 {
+		if x < 0.6 {
+			return x
+		}
+		return 1.2 - x
+	}
+	x, fx = maximizeScan(0, 1, saw)
+	if math.Abs(x-0.6) > 2e-3 || math.Abs(fx-0.6) > 2e-3 {
+		t.Errorf("sawtooth optimum at %.4f (f=%.4f), want 0.6", x, fx)
+	}
+	// Degenerate interval.
+	x, _ = maximizeScan(1, 1, func(x float64) float64 { return x })
+	if x != 1 {
+		t.Errorf("degenerate interval gave %g", x)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if energyPerCycle(1e-3, 0) != math.Inf(1) {
+		t.Error("energy at zero frequency should be +Inf")
+	}
+	if got := energyPerCycle(1e-3, 1e6); math.Abs(got-1e-9) > 1e-18 {
+		t.Errorf("energyPerCycle = %g", got)
+	}
+	if !math.IsInf(safeDiv(1, 0), 1) {
+		t.Error("safeDiv by zero should be +Inf")
+	}
+	if clamp(5, 0, 1) != 1 || clamp(-5, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp wrong")
+	}
+}
+
+// Property: for any irradiance where both points exist, the regulated SC
+// point never extracts less from the cell than the unregulated one (MPP
+// tracking can only help extraction).
+func TestQuickRegulatedExtraction(t *testing.T) {
+	sys, sc, _, _ := defaultSystem()
+	f := func(irrRaw uint16) bool {
+		irr := 0.15 + float64(irrRaw)/65535*0.85
+		cmp, err := sys.Compare(sc, irr)
+		if err != nil {
+			return true
+		}
+		return cmp.ExtractionGain >= -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the holistic MEP voltage never falls below the conventional one
+// — converter losses always penalise the low-voltage end hardest.
+func TestQuickMEPShiftNonNegative(t *testing.T) {
+	sys, sc, _, _ := defaultSystem()
+	f := func(vinRaw uint16) bool {
+		vin := 0.85 + float64(vinRaw)/65535*0.6
+		mep, err := sys.HolisticMEP(sc, vin)
+		if err != nil {
+			return true
+		}
+		return mep.VoltageShift >= -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoFeasiblePointErrors(t *testing.T) {
+	sys, sc, _, _ := defaultSystem()
+	if _, err := sys.RegulatedBestPoint(sc, 0); !errors.Is(err, ErrNoFeasiblePoint) {
+		t.Errorf("darkness: %v", err)
+	}
+	if _, err := sys.HolisticMEP(sc, 0.1); !errors.Is(err, ErrNoFeasiblePoint) {
+		t.Errorf("tiny input voltage: %v", err)
+	}
+}
+
+func BenchmarkRegulatedBestPoint(b *testing.B) {
+	sys, sc, _, _ := defaultSystem()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RegulatedBestPoint(sc, pv.FullSun); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHolisticMEP(b *testing.B) {
+	sys, sc, _, _ := defaultSystem()
+	vmpp, _ := sys.Cell.MPP(pv.FullSun)
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.HolisticMEP(sc, vmpp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

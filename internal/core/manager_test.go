@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/pv"
+	"repro/internal/reg"
+)
+
+func testManager() *Manager {
+	sys, sc, _, _ := defaultSystem()
+	return NewManager(sys, sc)
+}
+
+func TestPlanPerformanceFollowsBypassRule(t *testing.T) {
+	m := testManager()
+	bright, err := m.PlanPerformance(pv.FullSun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bright.RegulatorName == "Bypass" {
+		t.Error("full sun plan should regulate")
+	}
+	dim, err := m.PlanPerformance(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim.RegulatorName != "Bypass" {
+		t.Error("dim plan should bypass")
+	}
+	if bright.Frequency <= dim.Frequency {
+		t.Error("bright plan should be faster")
+	}
+}
+
+func TestPlanMinimumEnergy(t *testing.T) {
+	m := testManager()
+	pt, err := m.PlanMinimumEnergy(pv.FullSun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := m.PlanPerformance(pv.FullSun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MEP plan runs at a lower voltage and lower energy per cycle than
+	// the performance plan.
+	if pt.Supply >= perf.Supply {
+		t.Errorf("MEP supply %.3f >= performance supply %.3f", pt.Supply, perf.Supply)
+	}
+	// Compare source-side energy per cycle: load energy over conversion
+	// efficiency over frequency.
+	src := func(p Point) float64 { return p.LoadPower / p.Efficiency / p.Frequency }
+	if src(pt) >= src(perf) {
+		t.Errorf("MEP plan source energy %.4g >= performance plan %.4g", src(pt), src(perf))
+	}
+	if _, err := m.PlanMinimumEnergy(0); err == nil {
+		t.Error("darkness should error")
+	}
+}
+
+func TestBuildTrackingTable(t *testing.T) {
+	m := testManager()
+	table := m.BuildTrackingTable([]float64{0.05, 0.25, 1.0})
+	if table.Len() != 3 {
+		t.Fatalf("len = %d", table.Len())
+	}
+	entries := table.Entries()
+	// Bright levels regulate; dim levels bypass, matching DecideBypass.
+	for _, e := range entries {
+		d := m.System().DecideBypass(m.Regulator(), e.Irradiance)
+		if e.Bypass != d.Bypass {
+			t.Errorf("irr=%.2f: table bypass=%v, decision=%v", e.Irradiance, e.Bypass, d.Bypass)
+		}
+	}
+}
+
+func TestRunTrackedReproducesMPPT(t *testing.T) {
+	m := testManager()
+	vmpp, _ := m.System().Cell.MPP(1.0)
+	storage, err := cap.New(100e-6, vmpp, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunTracked(TrackedRunConfig{
+		Cap:        storage,
+		Irradiance: circuit.StepIrradiance(1.0, 0.25, 8e-3),
+		Levels:     []float64{0.05, 0.1, 0.25, 0.5, 1.0},
+		V1:         1.0,
+		V2:         0.9,
+		Duration:   40e-3,
+		TraceEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) == 0 || res.Retargets == 0 {
+		t.Fatalf("no tracking activity: %+v", res)
+	}
+	_, want := m.System().Cell.MPP(0.25)
+	if math.Abs(res.Estimates[0]-want)/want > 0.30 {
+		t.Errorf("estimate %.3g W, want within 30%% of %.3g W", res.Estimates[0], want)
+	}
+	if res.Outcome.Trace == nil {
+		t.Error("trace missing")
+	}
+}
+
+func TestRunDeadlineJobCompletes(t *testing.T) {
+	m := testManager()
+	storage, err := cap.New(100e-6, 1.09, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunDeadlineJob(DeadlineRunConfig{
+		Cap:        storage,
+		Irradiance: circuit.ConstantIrradiance(1.0),
+		Cycles:     4e6,
+		Deadline:   20e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcome.Completed {
+		t.Fatalf("job did not complete: %+v", res.Outcome)
+	}
+	if res.BypassedAt >= 0 {
+		t.Error("no bypass expected at constant full sun")
+	}
+}
+
+func TestRunDeadlineJobConfigErrors(t *testing.T) {
+	m := testManager()
+	if _, err := m.RunDeadlineJob(DeadlineRunConfig{}); err == nil {
+		t.Error("missing components should error")
+	}
+	if _, err := m.RunTracked(TrackedRunConfig{}); err == nil {
+		t.Error("missing components should error")
+	}
+}
+
+func TestHeadlineSavings(t *testing.T) {
+	m := testManager()
+	best, at := m.HeadlineSavings([]float64{1.0, 0.5, 0.25})
+	if best < 0.05 || best > 0.45 {
+		t.Errorf("headline savings %.1f%%, want 5-45%% (paper up to ~30%%)", best*100)
+	}
+	if at <= 0 {
+		t.Errorf("best at irradiance %g", at)
+	}
+	if best, _ := m.HeadlineSavings(nil); !math.IsInf(best, -1) {
+		t.Error("empty sweep should return -Inf")
+	}
+}
+
+func TestManagerAccessors(t *testing.T) {
+	sys, sc, _, _ := defaultSystem()
+	m := NewManager(sys, sc)
+	if m.System() != sys || m.Regulator() != reg.Regulator(sc) {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	m := testManager()
+	env := m.Envelope(0.05, 1.0, 40)
+	if len(env) != 40 {
+		t.Fatalf("got %d points", len(env))
+	}
+	// Frequency non-decreasing with light among runnable points.
+	prev := -1.0
+	for _, ep := range env {
+		if !ep.Runnable {
+			continue
+		}
+		if ep.Point.Frequency < prev-1e3 {
+			t.Fatalf("frequency fell with more light at irr=%.3f", ep.Irradiance)
+		}
+		prev = ep.Point.Frequency
+	}
+	// The mode boundary matches the analytic crossover.
+	boundary := BypassBoundary(env)
+	crossover := m.System().BypassCrossover(m.Regulator(), 0.02, 1.0)
+	if math.Abs(boundary-crossover) > 0.05 {
+		t.Errorf("envelope boundary %.3f vs analytic crossover %.3f", boundary, crossover)
+	}
+	// Degenerate sweeps return nil.
+	if m.Envelope(1.0, 0.5, 10) != nil || m.Envelope(0.1, 1.0, 1) != nil {
+		t.Error("degenerate sweep should return nil")
+	}
+	if BypassBoundary(nil) != 0 {
+		t.Error("empty envelope boundary should be 0")
+	}
+}
+
+func TestRunDeadlineJobQuantizedClock(t *testing.T) {
+	m := testManager()
+	storage, err := cap.New(100e-6, 1.09, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []float64{100e6, 200e6, 300e6, 400e6}
+	res, err := m.RunDeadlineJob(DeadlineRunConfig{
+		Cap:         storage,
+		Irradiance:  circuit.ConstantIrradiance(1.0),
+		Cycles:      4e6,
+		Deadline:    25e-3,
+		ClockLevels: levels,
+		TraceEvery:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcome.Completed {
+		t.Fatalf("quantized job did not complete: %+v", res.Outcome)
+	}
+	// Every traced frequency sits on the grid (or zero).
+	for _, s := range res.Outcome.Trace.Samples {
+		onGrid := s.Frequency == 0
+		for _, l := range levels {
+			if math.Abs(s.Frequency-l) < 1 {
+				onGrid = true
+			}
+		}
+		if !onGrid {
+			t.Fatalf("off-grid frequency %.4g Hz in trace", s.Frequency)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package expt contains one driver per figure of the paper's evaluation.
+// Each driver regenerates the figure's data series from the calibrated
+// models and reports the headline metrics next to the values the paper
+// quotes. The drivers are shared by the hemsim command-line tool and the
+// benchmark suite, and their result structs are asserted (in bands) by the
+// reproduction tests.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cap"
+	"repro/internal/cpu"
+	"repro/internal/plot"
+	"repro/internal/pv"
+	"repro/internal/reg"
+)
+
+// Default experiment geometry.
+const (
+	// SweepPoints is the sample count of voltage sweeps.
+	SweepPoints = 120
+
+	// ChipSupply is the chip's external supply rail used when reproducing
+	// the regulator characterisation figures (the test chip runs "under
+	// 1.2 to 1.5 V supply").
+	ChipSupply = 1.2
+
+	// DefaultCapacitance is the storage capacitor used by the transient
+	// experiments (F).
+	DefaultCapacitance = 100e-6
+
+	// DefaultCapMaxVoltage is the storage capacitor's rated voltage (V).
+	DefaultCapMaxVoltage = 2.0
+)
+
+// Components bundles the default calibrated models used by every
+// experiment.
+type Components struct {
+	Cell *pv.Cell
+	Proc *cpu.Processor
+	SC   *reg.SC
+	Buck *reg.Buck
+	LDO  *reg.LDO
+}
+
+// DefaultComponents returns the calibrated defaults.
+func DefaultComponents() Components {
+	return Components{
+		Cell: pv.NewCell(),
+		Proc: cpu.NewProcessor(),
+		SC:   reg.NewSC(),
+		Buck: reg.NewBuck(),
+		LDO:  reg.NewLDO(),
+	}
+}
+
+// NewStorageCap returns the default storage capacitor pre-charged to v.
+func NewStorageCap(v float64) (*cap.Capacitor, error) {
+	return cap.New(DefaultCapacitance, v, DefaultCapMaxVoltage)
+}
+
+// Runner executes one experiment and writes its report.
+type Runner func(w io.Writer) error
+
+// Registry returns the experiment table keyed by ID (fig2, fig3, ...).
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":     func(w io.Writer) error { return Fig2().Report(w) },
+		"fig3":     func(w io.Writer) error { return Fig3().Report(w) },
+		"fig4":     func(w io.Writer) error { return Fig4().Report(w) },
+		"fig5":     func(w io.Writer) error { return Fig5().Report(w) },
+		"fig6a":    func(w io.Writer) error { return Fig6a().Report(w) },
+		"fig6b":    func(w io.Writer) error { return runErr(Fig6b())(w) },
+		"fig7a":    func(w io.Writer) error { return Fig7a().Report(w) },
+		"fig7b":    func(w io.Writer) error { return runErr(Fig7b())(w) },
+		"fig8":     func(w io.Writer) error { return runErr(Fig8())(w) },
+		"fig9a":    func(w io.Writer) error { return runErr(Fig9a())(w) },
+		"fig9b":    func(w io.Writer) error { return runErr(Fig9b())(w) },
+		"fig11a":   func(w io.Writer) error { return Fig11a().Report(w) },
+		"fig11b":   func(w io.Writer) error { return runErr(Fig11b())(w) },
+		"headline": func(w io.Writer) error { return Headline().Report(w) },
+
+		// Extensions beyond the paper's evaluation (DESIGN.md Sec. 5).
+		"ext-corners":      func(w io.Writer) error { return runErr(ExtCorners())(w) },
+		"ext-domains":      func(w io.Writer) error { return runErr(ExtDomains())(w) },
+		"ext-weather":      func(w io.Writer) error { return runErr(ExtWeather())(w) },
+		"ext-intermittent": func(w io.Writer) error { return runErr(ExtIntermittent())(w) },
+		"ext-federation":   func(w io.Writer) error { return runErr(ExtFederation())(w) },
+		"ext-shading":      func(w io.Writer) error { return runErr(ExtShading())(w) },
+		"ext-dutycycle":    func(w io.Writer) error { return runErr(ExtDutyCycle())(w) },
+		"ext-temperature":  func(w io.Writer) error { return runErr(ExtTemperature())(w) },
+	}
+}
+
+// reporter is anything that can write its report.
+type reporter interface{ Report(w io.Writer) error }
+
+// runErr adapts a (result, error) pair to a Runner body.
+func runErr[T reporter](res T, err error) func(io.Writer) error {
+	return func(w io.Writer) error {
+		if err != nil {
+			return err
+		}
+		return res.Report(w)
+	}
+}
+
+// Names returns the registry keys in a stable order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// renderChart writes an ASCII chart, tolerating empty data.
+func renderChart(w io.Writer, c plot.Chart, series ...plot.Series) error {
+	if err := c.Render(w, series...); err != nil {
+		fmt.Fprintf(w, "(chart unavailable: %v)\n", err)
+	}
+	return nil
+}

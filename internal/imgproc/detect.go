@@ -1,0 +1,170 @@
+package imgproc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Detection is one sliding-window hit.
+type Detection struct {
+	X, Y     int     // top-left corner of the window in the scene
+	Class    Class   // predicted pattern class of the window
+	Distance float64 // squared distance to the winning centroid (lower = stronger)
+}
+
+// Detector scans a large scene with a sliding window and classifies each
+// window with the nearest-centroid classifier — the "classification by
+// using gradient feature vectors in a windowed frame" of the paper's
+// Sec. VII, generalised from a single frame to a scene. Construct with
+// NewDetector.
+type Detector struct {
+	pipeline   *Pipeline
+	windowSize int // square window edge (px)
+	stride     int // window step (px)
+	maxDist    float64
+}
+
+// DetectorOption configures a Detector.
+type DetectorOption func(*Detector)
+
+// WithWindowSize sets the square window edge in pixels.
+func WithWindowSize(px int) DetectorOption {
+	return func(d *Detector) { d.windowSize = px }
+}
+
+// WithStride sets the window step in pixels.
+func WithStride(px int) DetectorOption {
+	return func(d *Detector) { d.stride = px }
+}
+
+// WithMaxDistance sets the acceptance threshold on the squared centroid
+// distance; windows farther from every centroid are dropped as background.
+func WithMaxDistance(d2 float64) DetectorOption {
+	return func(d *Detector) { d.maxDist = d2 }
+}
+
+// NewDetector wraps a trained pipeline in a 64x64-window, 32-px-stride
+// scanner by default.
+func NewDetector(p *Pipeline, opts ...DetectorOption) *Detector {
+	d := &Detector{
+		pipeline:   p,
+		windowSize: 64,
+		stride:     32,
+		maxDist:    math.Inf(1),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// WindowCount returns how many windows a scene of the given size produces.
+func (d *Detector) WindowCount(width, height int) int {
+	if width < d.windowSize || height < d.windowSize {
+		return 0
+	}
+	nx := (width-d.windowSize)/d.stride + 1
+	ny := (height-d.windowSize)/d.stride + 1
+	return nx * ny
+}
+
+// SceneCycles returns the analytic cycle cost of scanning a scene: one full
+// recognition pass per window (the hardware re-runs the datapath per
+// window; the scan-in is charged once for the scene).
+func (d *Detector) SceneCycles(width, height int) uint64 {
+	cm := d.pipeline.Cost()
+	n := uint64(d.WindowCount(width, height))
+	featureLen, err := d.pipeline.extractor.FeatureLength(d.windowSize, d.windowSize)
+	if err != nil {
+		return 0
+	}
+	perWindow := cm.FrameCycles(d.windowSize, d.windowSize, featureLen, len(d.pipeline.classifier.centroids))
+	// Scene scan-in replaces the per-window scan-in.
+	perWindow -= cm.ScanInPerPixel * uint64(d.windowSize*d.windowSize)
+	return cm.ScanInPerPixel*uint64(width*height) + n*perWindow
+}
+
+// Detect scans the scene and returns all accepted windows and the total
+// cycle cost.
+func (d *Detector) Detect(scene *Image) ([]Detection, uint64, error) {
+	if scene.Width < d.windowSize || scene.Height < d.windowSize {
+		return nil, 0, fmt.Errorf("%w: scene %dx%d below window %d",
+			ErrBadDimensions, scene.Width, scene.Height, d.windowSize)
+	}
+	cm := d.pipeline.Cost()
+	cycles := cm.ScanInPerPixel * uint64(scene.Width*scene.Height)
+	var hits []Detection
+	window := NewImage(d.windowSize, d.windowSize)
+	for y := 0; y+d.windowSize <= scene.Height; y += d.stride {
+		for x := 0; x+d.windowSize <= scene.Width; x += d.stride {
+			for wy := 0; wy < d.windowSize; wy++ {
+				copy(window.Pix[wy*d.windowSize:(wy+1)*d.windowSize],
+					scene.Pix[(y+wy)*scene.Width+x:(y+wy)*scene.Width+x+d.windowSize])
+			}
+			cycles += cm.FrameOverhead // per-window control overhead
+			grad, c := Sobel(window, cm)
+			cycles += c
+			features, c, err := d.pipeline.extractor.Extract(grad, cm)
+			if err != nil {
+				return nil, 0, fmt.Errorf("window (%d,%d): %w", x, y, err)
+			}
+			cycles += c
+			class, dist, c, err := d.pipeline.classifier.classifyWithDistance(features, cm)
+			if err != nil {
+				return nil, 0, fmt.Errorf("window (%d,%d): %w", x, y, err)
+			}
+			cycles += c
+			if dist <= d.maxDist {
+				hits = append(hits, Detection{X: x, Y: y, Class: class, Distance: dist})
+			}
+		}
+	}
+	return hits, cycles, nil
+}
+
+// classifyWithDistance is Classify that also exposes the winning distance.
+func (c *Classifier) classifyWithDistance(features []float64, cost *CostModel) (Class, float64, uint64, error) {
+	if len(c.centroids) == 0 {
+		return 0, 0, 0, ErrEmptyTrainingSet
+	}
+	if len(features) != len(c.centroids[0]) {
+		return 0, 0, 0, fmt.Errorf("%w: got %d, want %d", ErrFeatureLengthMismatch, len(features), len(c.centroids[0]))
+	}
+	best, bestDist := c.classes[0], math.Inf(1)
+	for k, centroid := range c.centroids {
+		var d float64
+		for i, x := range features {
+			diff := x - centroid[i]
+			d += diff * diff
+		}
+		if d < bestDist {
+			best, bestDist = c.classes[k], d
+		}
+	}
+	return best, bestDist, cost.classifyCycles(len(features), len(c.centroids)), nil
+}
+
+// ComposeScene renders a scene of the given size filled with background
+// noise and stamps the given pattern class into a patch at (x, y), for
+// exercising the detector. The patch is windowSize x windowSize.
+func ComposeScene(rng *rand.Rand, width, height, patchX, patchY, patchSize int, class Class) *Image {
+	scene := NewImage(width, height)
+	for i := range scene.Pix {
+		v := 128 + rng.NormFloat64()*8
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		scene.Pix[i] = uint8(v)
+	}
+	patch := Generate(rng, class, patchSize, patchSize)
+	for y := 0; y < patchSize; y++ {
+		for x := 0; x < patchSize; x++ {
+			scene.Set(patchX+x, patchY+y, patch.At(x, y))
+		}
+	}
+	return scene
+}

@@ -1,0 +1,134 @@
+package imgproc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func trainedDetector(t *testing.T, opts ...DetectorOption) (*Detector, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	pipe, err := TrainDefaultPipeline(rng, 64, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDetector(pipe, opts...), rng
+}
+
+func TestWindowCount(t *testing.T) {
+	d, _ := trainedDetector(t)
+	// 128x128 scene, 64 window, 32 stride: 3x3 windows.
+	if got := d.WindowCount(128, 128); got != 9 {
+		t.Errorf("count = %d, want 9", got)
+	}
+	if got := d.WindowCount(64, 64); got != 1 {
+		t.Errorf("single window count = %d, want 1", got)
+	}
+	if got := d.WindowCount(32, 32); got != 0 {
+		t.Errorf("undersized scene count = %d, want 0", got)
+	}
+}
+
+func TestDetectFindsStampedPattern(t *testing.T) {
+	d, rng := trainedDetector(t)
+	// Stamp a checkerboard patch aligned to a window position.
+	scene := ComposeScene(rng, 192, 192, 64, 96, 64, ClassChecker)
+	hits, cycles, err := d.Detect(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Error("no cycles charged")
+	}
+	found := false
+	for _, h := range hits {
+		if h.X == 64 && h.Y == 96 && h.Class == ClassChecker {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stamped checker patch not detected; hits: %+v", hits)
+	}
+}
+
+func TestDetectThresholdSuppressesBackground(t *testing.T) {
+	d, rng := trainedDetector(t)
+	scene := ComposeScene(rng, 192, 192, 64, 64, 64, ClassVertical)
+
+	all, _, err := d.Detect(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learn a threshold from the stamped window's distance.
+	var stamped float64 = -1
+	for _, h := range all {
+		if h.X == 64 && h.Y == 64 {
+			stamped = h.Distance
+		}
+	}
+	if stamped < 0 {
+		t.Fatal("stamped window missing from unthresholded scan")
+	}
+	strict, _ := trainedDetector(t, WithMaxDistance(stamped*1.1))
+	hits, _, err := strict.Detect(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) >= len(all) {
+		t.Errorf("threshold did not suppress anything: %d vs %d", len(hits), len(all))
+	}
+	found := false
+	for _, h := range hits {
+		if h.X == 64 && h.Y == 64 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("threshold suppressed the true hit")
+	}
+}
+
+func TestDetectCyclesMatchAnalytic(t *testing.T) {
+	d, rng := trainedDetector(t)
+	scene := ComposeScene(rng, 160, 128, 32, 32, 64, ClassBlob)
+	_, cycles, err := d.Detect(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := d.SceneCycles(160, 128); cycles != want {
+		t.Errorf("charged %d cycles, analytic %d", cycles, want)
+	}
+}
+
+func TestDetectUndersizedScene(t *testing.T) {
+	d, rng := trainedDetector(t)
+	scene := ComposeScene(rng, 32, 32, 0, 0, 32, ClassBlob)
+	if _, _, err := d.Detect(scene); !errors.Is(err, ErrBadDimensions) {
+		t.Errorf("want ErrBadDimensions, got %v", err)
+	}
+}
+
+func TestDetectorOptions(t *testing.T) {
+	d, _ := trainedDetector(t, WithWindowSize(32), WithStride(16))
+	// 64x64 scene, 32 window, 16 stride: 3x3.
+	if got := d.WindowCount(64, 64); got != 9 {
+		t.Errorf("count = %d, want 9", got)
+	}
+}
+
+func BenchmarkDetectScene(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pipe, err := TrainDefaultPipeline(rng, 64, 64, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := NewDetector(pipe)
+	scene := ComposeScene(rng, 192, 192, 64, 64, 64, ClassChecker)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Detect(scene); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package imgproc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PGM errors.
+var (
+	// ErrBadPGM indicates a malformed PGM stream.
+	ErrBadPGM = errors.New("imgproc: malformed PGM")
+)
+
+// WritePGM encodes the frame as binary PGM (P5, maxval 255), the simplest
+// interchange format for grayscale sensor data.
+func (im *Image) WritePGM(w io.Writer) error {
+	if im.Width <= 0 || im.Height <= 0 || len(im.Pix) != im.Width*im.Height {
+		return fmt.Errorf("%w: inconsistent image %dx%d with %d pixels", ErrBadPGM, im.Width, im.Height, len(im.Pix))
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", im.Width, im.Height); err != nil {
+		return err
+	}
+	_, err := w.Write(im.Pix)
+	return err
+}
+
+// ReadPGM decodes a binary PGM (P5) stream with maxval <= 255.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("%w: magic %q, want P5", ErrBadPGM, magic)
+	}
+	width, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	height, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxval, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if width <= 0 || height <= 0 || width*height > 1<<26 {
+		return nil, fmt.Errorf("%w: dimensions %dx%d", ErrBadPGM, width, height)
+	}
+	if maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("%w: maxval %d, want 1-255", ErrBadPGM, maxval)
+	}
+	im := NewImage(width, height)
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("%w: pixel data: %v", ErrBadPGM, err)
+	}
+	return im, nil
+}
+
+// pgmToken reads one whitespace-delimited token, skipping '#' comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && errors.Is(err, io.EOF) {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("%w: %v", ErrBadPGM, err)
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && !errors.Is(err, io.EOF) {
+				return "", fmt.Errorf("%w: %v", ErrBadPGM, err)
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+// pgmInt reads one decimal header field.
+func pgmInt(br *bufio.Reader) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, c := range []byte(tok) {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("%w: non-numeric header field %q", ErrBadPGM, tok)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("%w: header field overflow", ErrBadPGM)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,147 @@
+package imgproc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CostModel charges clock cycles for each pipeline stage, modelling the
+// software-visible cost of the recognition core. The defaults assume a
+// small in-order core computing square roots and arc-tangents in software,
+// and are calibrated so a 64x64 frame costs ~4.5 M cycles — about 15 ms at
+// the 0.5 V / ~310 MHz operating point quoted in the paper's Sec. VII.
+type CostModel struct {
+	ScanInPerPixel   uint64 // external pixel scan-in and SRAM store
+	GradientPerPixel uint64 // two 3x3 convolutions per pixel
+	FeaturePerPixel  uint64 // magnitude (sqrt), orientation (atan2), binning
+	NormPerElement   uint64 // feature vector normalisation per element
+	ClassifyPerDim   uint64 // per feature element per class distance update
+	FrameOverhead    uint64 // fixed per-frame control overhead
+}
+
+// DefaultCostModel returns the calibrated cost model.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		ScanInPerPixel:   40,
+		GradientPerPixel: 400,
+		FeaturePerPixel:  640,
+		NormPerElement:   30,
+		ClassifyPerDim:   10,
+		FrameOverhead:    20000,
+	}
+}
+
+func (cm *CostModel) scanCycles(w, h int) uint64 {
+	return cm.ScanInPerPixel * uint64(w*h)
+}
+
+func (cm *CostModel) gradientCycles(w, h int) uint64 {
+	return cm.GradientPerPixel * uint64(w*h)
+}
+
+func (cm *CostModel) featureCycles(w, h, featureLen int) uint64 {
+	return cm.FeaturePerPixel*uint64(w*h) + cm.NormPerElement*uint64(featureLen)
+}
+
+func (cm *CostModel) classifyCycles(featureLen, classes int) uint64 {
+	return cm.ClassifyPerDim * uint64(featureLen) * uint64(classes)
+}
+
+// FrameCycles returns the total analytic cycle count for one frame of the
+// given dimensions through scan-in, gradient, features and classification
+// against the given number of classes.
+func (cm *CostModel) FrameCycles(width, height, featureLen, classes int) uint64 {
+	return cm.FrameOverhead +
+		cm.scanCycles(width, height) +
+		cm.gradientCycles(width, height) +
+		cm.featureCycles(width, height, featureLen) +
+		cm.classifyCycles(featureLen, classes)
+}
+
+// Result is the outcome of running one frame through the pipeline.
+type Result struct {
+	Class  Class  // predicted pattern class
+	Cycles uint64 // total clock cycles consumed
+}
+
+// Pipeline bundles the full recognition flow: Sobel gradients, windowed
+// gradient-histogram features and nearest-centroid classification, with
+// cycle accounting. Construct with NewPipeline.
+type Pipeline struct {
+	extractor  *FeatureExtractor
+	classifier *Classifier
+	cost       *CostModel
+}
+
+// NewPipeline builds a pipeline around a trained classifier. A nil cost
+// model selects DefaultCostModel.
+func NewPipeline(extractor *FeatureExtractor, classifier *Classifier, cost *CostModel) *Pipeline {
+	if cost == nil {
+		cost = DefaultCostModel()
+	}
+	return &Pipeline{extractor: extractor, classifier: classifier, cost: cost}
+}
+
+// Cost returns the pipeline's cycle cost model.
+func (p *Pipeline) Cost() *CostModel { return p.cost }
+
+// Process runs one frame end to end and returns the predicted class and the
+// total cycle count.
+func (p *Pipeline) Process(im *Image) (Result, error) {
+	cycles := p.cost.FrameOverhead + p.cost.scanCycles(im.Width, im.Height)
+	grad, c := Sobel(im, p.cost)
+	cycles += c
+	features, c, err := p.extractor.Extract(grad, p.cost)
+	if err != nil {
+		return Result{}, fmt.Errorf("extract features: %w", err)
+	}
+	cycles += c
+	class, c, err := p.classifier.Classify(features, p.cost)
+	if err != nil {
+		return Result{}, fmt.Errorf("classify: %w", err)
+	}
+	cycles += c
+	return Result{Class: class, Cycles: cycles}, nil
+}
+
+// TrainDefaultPipeline builds a ready-to-use pipeline by generating
+// trainPerClass synthetic samples of every class at the given frame size
+// with the supplied random source, extracting features and fitting the
+// nearest-centroid classifier.
+func TrainDefaultPipeline(rng *rand.Rand, width, height, trainPerClass int) (*Pipeline, error) {
+	extractor := NewFeatureExtractor()
+	cost := DefaultCostModel()
+	samples := make(map[Class][][]float64, NumClasses)
+	for class := Class(1); int(class) <= NumClasses; class++ {
+		for i := 0; i < trainPerClass; i++ {
+			im := Generate(rng, class, width, height)
+			grad, _ := Sobel(im, cost)
+			features, _, err := extractor.Extract(grad, cost)
+			if err != nil {
+				return nil, fmt.Errorf("train class %v: %w", class, err)
+			}
+			samples[class] = append(samples[class], features)
+		}
+	}
+	classifier, err := TrainClassifier(samples)
+	if err != nil {
+		return nil, fmt.Errorf("train classifier: %w", err)
+	}
+	return NewPipeline(extractor, classifier, cost), nil
+}
+
+// Job describes a unit of deadline-constrained work for the scheduler: a
+// number of frames to recognise and the total clock cycles they cost.
+type Job struct {
+	Frames int    // number of frames in the batch
+	Cycles uint64 // total clock cycles for the batch
+}
+
+// BatchJob returns the Job for processing `frames` frames of the given
+// size and class count under the cost model.
+func (cm *CostModel) BatchJob(frames, width, height, featureLen, classes int) Job {
+	return Job{
+		Frames: frames,
+		Cycles: uint64(frames) * cm.FrameCycles(width, height, featureLen, classes),
+	}
+}

@@ -1,0 +1,100 @@
+package intermittent
+
+// FailureObserver is an optional Policy extension: the executor reports
+// every power failure together with the useful work achieved since the
+// previous one, so the policy can adapt its checkpoint cadence to the
+// environment (the self-calibration idea of Hibernus++).
+type FailureObserver interface {
+	// OnFailure reports the useful work (cycles) completed between the
+	// previous failure (or boot) and this one.
+	OnFailure(workBetweenFailures float64)
+}
+
+// AdaptivePolicy is a periodic checkpoint policy whose interval learns the
+// observed failure cadence: the interval targets a fraction of the work a
+// power window typically allows, so stable environments pay few checkpoints
+// while flaky ones checkpoint often enough to bound the loss.
+type AdaptivePolicy struct {
+	// Initial is the starting interval (cycles). Zero selects 0.5e6.
+	Initial float64
+	// Min and Max bound the learned interval (cycles). Zeros select
+	// [50e3, 5e6].
+	Min, Max float64
+	// Fraction of the observed work-between-failures to run between
+	// checkpoints. Zero selects 0.25.
+	Fraction float64
+	// Smoothing is the exponential-averaging weight of new observations in
+	// (0, 1]. Zero selects 0.5.
+	Smoothing float64
+
+	interval float64
+	avgWork  float64
+}
+
+var (
+	_ Policy          = (*AdaptivePolicy)(nil)
+	_ FailureObserver = (*AdaptivePolicy)(nil)
+)
+
+// defaults resolves zero fields.
+func (p *AdaptivePolicy) defaults() {
+	if p.Initial == 0 {
+		p.Initial = 0.5e6
+	}
+	if p.Min == 0 {
+		p.Min = 50e3
+	}
+	if p.Max == 0 {
+		p.Max = 5e6
+	}
+	if p.Fraction == 0 {
+		p.Fraction = 0.25
+	}
+	if p.Smoothing == 0 {
+		p.Smoothing = 0.5
+	}
+	if p.interval == 0 {
+		p.interval = p.Initial
+	}
+}
+
+// Interval returns the current learned checkpoint interval (cycles).
+func (p *AdaptivePolicy) Interval() float64 {
+	p.defaults()
+	return p.interval
+}
+
+// ShouldCheckpoint implements Policy.
+func (p *AdaptivePolicy) ShouldCheckpoint(uncommitted, _ float64) bool {
+	p.defaults()
+	return uncommitted >= p.interval
+}
+
+// OnFailure implements FailureObserver: shrink toward a fraction of the
+// observed power-window work.
+func (p *AdaptivePolicy) OnFailure(workBetweenFailures float64) {
+	p.defaults()
+	if workBetweenFailures <= 0 {
+		// A failure before any work: assume the environment is very flaky.
+		workBetweenFailures = p.Min / p.Fraction
+	}
+	if p.avgWork == 0 {
+		p.avgWork = workBetweenFailures
+	} else {
+		p.avgWork += p.Smoothing * (workBetweenFailures - p.avgWork)
+	}
+	p.interval = clampF(p.Fraction*p.avgWork, p.Min, p.Max)
+}
+
+// Name implements Policy.
+func (p *AdaptivePolicy) Name() string { return "adaptive" }
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,397 @@
+// Package intermittent implements checkpointed forward progress for
+// transiently-powered execution — the system context the paper builds on
+// (its refs: Hibernus++-style voltage-triggered hibernation, Alpaca-style
+// task checkpointing, federated energy storage). A battery-less node
+// browns out whenever harvesting collapses; everything in volatile state is
+// lost. This package runs a long job on the transient simulator and
+// persists progress to modelled non-volatile memory so the job survives any
+// number of power failures.
+//
+// The executor is a circuit.Controller with a three-mode state machine:
+//
+//	Restoring ──(restore cycles done)──> Working ──(policy fires)──> Checkpointing
+//	    ^                                                                 │
+//	    └────────────(power failure: volatile progress lost)──────────────┘
+//
+// Checkpoints are double-buffered: a checkpoint interrupted by a power
+// failure leaves the previous committed image intact (no torn state).
+package intermittent
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Errors returned by this package.
+var (
+	// ErrBadTask indicates a task with no work or negative state size.
+	ErrBadTask = errors.New("intermittent: invalid task")
+
+	// ErrNoPolicy indicates an executor without a checkpoint policy.
+	ErrNoPolicy = errors.New("intermittent: missing checkpoint policy")
+)
+
+// NVM models the non-volatile memory used for checkpoints (e.g. on-chip
+// FRAM/flash). Costs are charged in clock cycles of the core that drives
+// the writes, so they automatically scale with DVFS.
+type NVM struct {
+	// WriteCyclesPerByte is the cycle cost of persisting one byte.
+	WriteCyclesPerByte float64
+	// ReadCyclesPerByte is the cycle cost of restoring one byte.
+	ReadCyclesPerByte float64
+	// FixedCycles is the per-operation overhead (erase setup, commit mark).
+	FixedCycles float64
+}
+
+// DefaultNVM returns an FRAM-class memory: cheap reads, writes a few cycles
+// per byte, a small fixed commit cost.
+func DefaultNVM() NVM {
+	return NVM{
+		WriteCyclesPerByte: 4,
+		ReadCyclesPerByte:  2,
+		FixedCycles:        500,
+	}
+}
+
+// CheckpointCycles returns the cycle cost of persisting `bytes` of state.
+func (n NVM) CheckpointCycles(bytes int) float64 {
+	return n.FixedCycles + n.WriteCyclesPerByte*float64(bytes)
+}
+
+// RestoreCycles returns the cycle cost of restoring `bytes` of state.
+func (n NVM) RestoreCycles(bytes int) float64 {
+	return n.FixedCycles + n.ReadCyclesPerByte*float64(bytes)
+}
+
+// Task is a long-running job executed intermittently.
+type Task struct {
+	// TotalCycles is the useful work the job must complete.
+	TotalCycles float64
+	// StateBytes is the size of the live state a checkpoint must persist.
+	StateBytes int
+}
+
+// Validate reports whether the task is well-formed.
+func (t Task) Validate() error {
+	if t.TotalCycles <= 0 || t.StateBytes < 0 {
+		return fmt.Errorf("%w: cycles=%g state=%d B", ErrBadTask, t.TotalCycles, t.StateBytes)
+	}
+	return nil
+}
+
+// Policy decides when to take a checkpoint.
+type Policy interface {
+	// ShouldCheckpoint is consulted every step while working.
+	// uncommitted is the volatile progress (cycles) since the last commit;
+	// nodeVoltage is the storage-node voltage (V).
+	ShouldCheckpoint(uncommitted, nodeVoltage float64) bool
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// PeriodicPolicy checkpoints every Interval cycles of useful work — the
+// task-based (Alpaca-style) discipline.
+type PeriodicPolicy struct {
+	// Interval is the useful work (cycles) between checkpoints.
+	Interval float64
+}
+
+var _ Policy = PeriodicPolicy{}
+
+// ShouldCheckpoint implements Policy.
+func (p PeriodicPolicy) ShouldCheckpoint(uncommitted, _ float64) bool {
+	return uncommitted >= p.Interval
+}
+
+// Name implements Policy.
+func (p PeriodicPolicy) Name() string { return "periodic" }
+
+// Hibernator is an optional Policy extension: after a checkpoint commits,
+// the executor asks whether to hibernate (gate the clock and wait) instead
+// of resuming work. Voltage-triggered policies hibernate until the supply
+// recovers, as Hibernus-class systems do.
+type Hibernator interface {
+	// ShouldSleep reports whether the node voltage is still too low to
+	// resume useful work.
+	ShouldSleep(nodeVoltage float64) bool
+}
+
+// VoltageTriggeredPolicy checkpoints when the storage node falls below a
+// threshold — the Hibernus++-style just-in-time discipline: checkpoint only
+// when death is imminent, then hibernate until the supply recovers above
+// the wake threshold.
+type VoltageTriggeredPolicy struct {
+	// Threshold is the node voltage (V) below which a checkpoint fires.
+	Threshold float64
+	// Wake is the node voltage (V) above which hibernation ends. Zero
+	// selects Threshold + 0.05 V.
+	Wake float64
+	// MinUncommitted suppresses checkpoints when there is almost nothing
+	// to save (avoids re-checkpointing in a brown zone).
+	MinUncommitted float64
+}
+
+var (
+	_ Policy     = VoltageTriggeredPolicy{}
+	_ Hibernator = VoltageTriggeredPolicy{}
+)
+
+// ShouldCheckpoint implements Policy.
+func (p VoltageTriggeredPolicy) ShouldCheckpoint(uncommitted, nodeVoltage float64) bool {
+	return nodeVoltage < p.Threshold && uncommitted > p.MinUncommitted
+}
+
+// ShouldSleep implements Hibernator.
+func (p VoltageTriggeredPolicy) ShouldSleep(nodeVoltage float64) bool {
+	wake := p.Wake
+	if wake == 0 {
+		wake = p.Threshold + 0.05
+	}
+	return nodeVoltage < wake
+}
+
+// Name implements Policy.
+func (p VoltageTriggeredPolicy) Name() string { return "voltage-triggered" }
+
+// NeverPolicy never checkpoints — the baseline that shows why intermittent
+// execution needs persistence (long jobs restart from zero at every power
+// failure and may never finish).
+type NeverPolicy struct{}
+
+var _ Policy = NeverPolicy{}
+
+// ShouldCheckpoint implements Policy.
+func (NeverPolicy) ShouldCheckpoint(_, _ float64) bool { return false }
+
+// Name implements Policy.
+func (NeverPolicy) Name() string { return "never" }
+
+// mode is the executor's state-machine mode.
+type mode int
+
+const (
+	modeRestoring mode = iota + 1
+	modeWorking
+	modeCheckpointing
+	modeHibernating
+)
+
+// Stats aggregates an execution's accounting. All cycle quantities are in
+// clock cycles.
+type Stats struct {
+	Committed        float64 // useful work persisted in NVM
+	Volatile         float64 // useful work done since the last commit
+	Lost             float64 // useful work destroyed by power failures
+	CheckpointCycles float64 // cycles spent writing checkpoints
+	RestoreCycles    float64 // cycles spent restoring after failures
+	Checkpoints      int     // completed (committed) checkpoints
+	TornCheckpoints  int     // checkpoints destroyed mid-write by a failure
+	Failures         int     // power failures experienced
+	Completed        bool    // the task's final state was committed
+	CompletedAt      float64 // simulation time of the final commit (s)
+}
+
+// Progress returns total useful work that would survive a failure right
+// now.
+func (s Stats) Progress() float64 { return s.Committed }
+
+// Executor runs a Task across power failures. It implements
+// circuit.Controller: configure a DVFS point, a checkpoint policy and an
+// NVM model, then hand it to the transient simulator. The simulation's
+// JobCycles must be left at zero — completion is defined by the final
+// checkpoint commit, which the executor signals by stopping the run.
+type Executor struct {
+	// Task is the job to run. Required.
+	Task Task
+	// Policy decides when to checkpoint. Required.
+	Policy Policy
+	// Memory is the checkpoint store cost model.
+	Memory NVM
+	// Supply and Frequency command the regulated DVFS point. A zero
+	// Frequency selects the maximum at Supply.
+	Supply    float64
+	Frequency float64
+	// Bypass switches to direct connection when the regulator cannot
+	// sustain the supply.
+	Bypass bool
+
+	// Stats accumulates the execution accounting.
+	Stats Stats
+
+	mode          mode
+	phaseCycles   float64 // cycles consumed in the current restore/checkpoint
+	phaseNeeded   float64 // cycles the current restore/checkpoint requires
+	lastCycles    float64 // s.CyclesDone() at the previous step
+	wasHalted     bool
+	finalCommit   bool // the in-flight checkpoint is the task's last
+	everCommitted bool
+	workAtFailure float64 // committed+volatile at the previous failure
+}
+
+var _ circuit.Controller = (*Executor)(nil)
+
+// Init implements circuit.Controller.
+func (e *Executor) Init(s *circuit.State) {
+	if e.Memory == (NVM{}) {
+		e.Memory = DefaultNVM()
+	}
+	// A fresh boot has nothing to restore.
+	e.mode = modeWorking
+	e.lastCycles = s.CyclesDone()
+	s.SetBypass(false)
+	e.command(s)
+}
+
+// command applies the configured DVFS point, handling dropout.
+func (e *Executor) command(s *circuit.State) {
+	if e.mode == modeHibernating {
+		s.SetFrequency(0) // clock-gate and wait for the supply to recover
+		return
+	}
+	if s.Bypassed() {
+		s.SetFrequency(e.targetFrequency(s))
+		return
+	}
+	supply := e.Supply
+	_, hi := s.Regulator().OutputRange(s.CapVoltage())
+	if supply > hi {
+		if e.Bypass && s.CapVoltage() > hi {
+			s.SetBypass(true)
+			s.SetFrequency(e.targetFrequency(s))
+			return
+		}
+		supply = hi
+	}
+	s.SetSupply(supply)
+	s.SetFrequency(e.targetFrequency(s))
+}
+
+func (e *Executor) targetFrequency(s *circuit.State) float64 {
+	if e.Frequency > 0 {
+		return e.Frequency
+	}
+	return s.Processor().MaxFrequency(e.Supply)
+}
+
+// OnStep implements circuit.Controller: attribute the cycles executed since
+// the last step to the current mode, run the state machine, and watch for
+// power failures.
+func (e *Executor) OnStep(s *circuit.State) {
+	executed := s.CyclesDone() - e.lastCycles
+	e.lastCycles = s.CyclesDone()
+
+	halted := s.Halted()
+	if halted && !e.wasHalted {
+		e.powerFailure()
+	}
+	e.wasHalted = halted
+
+	if e.mode == modeHibernating {
+		if h, ok := e.Policy.(Hibernator); !ok || !h.ShouldSleep(s.CapVoltage()) {
+			e.mode = modeWorking
+		}
+	}
+	if !halted && executed > 0 {
+		e.consume(s, executed)
+	}
+	e.command(s)
+}
+
+// powerFailure destroys volatile state and schedules a restore.
+func (e *Executor) powerFailure() {
+	e.Stats.Failures++
+	if obs, ok := e.Policy.(FailureObserver); ok {
+		work := e.Stats.Committed + e.Stats.Volatile
+		obs.OnFailure(work - e.workAtFailure)
+		e.workAtFailure = work - e.Stats.Volatile // volatile is about to be lost
+	}
+	e.Stats.Lost += e.Stats.Volatile
+	e.Stats.Volatile = 0
+	if e.mode == modeCheckpointing {
+		// Double buffering: the in-flight image is discarded, the previous
+		// commit survives.
+		e.Stats.TornCheckpoints++
+		e.finalCommit = false
+	}
+	e.phaseCycles = 0
+	if e.everCommitted {
+		e.phaseNeeded = e.Memory.RestoreCycles(e.Task.StateBytes)
+		e.mode = modeRestoring
+	} else {
+		// Nothing in NVM yet: reboot straight into work from zero.
+		e.phaseNeeded = 0
+		e.mode = modeWorking
+	}
+}
+
+// consume attributes executed cycles to the state machine.
+func (e *Executor) consume(s *circuit.State, executed float64) {
+	for executed > 0 {
+		switch e.mode {
+		case modeRestoring:
+			used := minF(executed, e.phaseNeeded-e.phaseCycles)
+			e.phaseCycles += used
+			e.Stats.RestoreCycles += used
+			executed -= used
+			if e.phaseCycles >= e.phaseNeeded {
+				e.mode = modeWorking
+			}
+
+		case modeWorking:
+			remaining := e.Task.TotalCycles - e.Stats.Committed - e.Stats.Volatile
+			used := minF(executed, remaining)
+			e.Stats.Volatile += used
+			executed -= used
+			workDone := e.Stats.Committed+e.Stats.Volatile >= e.Task.TotalCycles
+			if workDone || e.Policy.ShouldCheckpoint(e.Stats.Volatile, s.CapVoltage()) {
+				e.mode = modeCheckpointing
+				e.phaseCycles = 0
+				e.phaseNeeded = e.Memory.CheckpointCycles(e.Task.StateBytes)
+				e.finalCommit = workDone
+			} else if used == 0 && executed > 0 {
+				// Work exhausted without a pending final commit: should not
+				// happen, but avoid spinning.
+				executed = 0
+			}
+
+		case modeCheckpointing:
+			used := minF(executed, e.phaseNeeded-e.phaseCycles)
+			e.phaseCycles += used
+			e.Stats.CheckpointCycles += used
+			executed -= used
+			if e.phaseCycles >= e.phaseNeeded {
+				// Commit.
+				e.Stats.Committed += e.Stats.Volatile
+				e.Stats.Volatile = 0
+				e.Stats.Checkpoints++
+				e.everCommitted = true
+				e.mode = modeWorking
+				if e.finalCommit {
+					e.Stats.Completed = true
+					e.Stats.CompletedAt = s.Time()
+					s.Stop("task committed")
+					return
+				}
+				// A just-in-time checkpoint means the supply is dying:
+				// hibernate until it recovers rather than burning the last
+				// charge on work that the next failure will destroy.
+				if h, ok := e.Policy.(Hibernator); ok && h.ShouldSleep(s.CapVoltage()) {
+					e.mode = modeHibernating
+					return
+				}
+			}
+		}
+	}
+}
+
+// OnThreshold implements circuit.Controller.
+func (e *Executor) OnThreshold(*circuit.State, circuit.ThresholdEvent) {}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

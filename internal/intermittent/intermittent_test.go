@@ -1,0 +1,358 @@
+package intermittent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/pv"
+	"repro/internal/reg"
+)
+
+// blink produces k seconds of light followed by k seconds of darkness,
+// repeating — the canonical intermittent-power profile.
+func blink(period float64) func(float64) float64 {
+	return func(t float64) float64 {
+		if math.Mod(t, 2*period) < period {
+			return 1.0
+		}
+		return 0
+	}
+}
+
+// runExecutor wires an executor into the transient simulator.
+func runExecutor(t testing.TB, e *Executor, irr func(float64) float64, maxTime float64) *circuit.Outcome {
+	t.Helper()
+	storage, err := cap.New(47e-6, 1.0, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := circuit.New(circuit.Config{
+		Cell:       pv.NewCell(),
+		Proc:       cpu.NewProcessor(),
+		Reg:        reg.NewSC(),
+		Cap:        storage,
+		Irradiance: irr,
+		Controller: e,
+		Step:       2e-6,
+		MaxTime:    maxTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestNVMCosts(t *testing.T) {
+	n := DefaultNVM()
+	if got := n.CheckpointCycles(1000); got != 500+4000 {
+		t.Errorf("checkpoint cycles = %g", got)
+	}
+	if got := n.RestoreCycles(1000); got != 500+2000 {
+		t.Errorf("restore cycles = %g", got)
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	if err := (Task{TotalCycles: 1e6, StateBytes: 64}).Validate(); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+	if err := (Task{TotalCycles: 0}).Validate(); err == nil {
+		t.Error("zero-work task accepted")
+	}
+	if err := (Task{TotalCycles: 1, StateBytes: -1}).Validate(); err == nil {
+		t.Error("negative state accepted")
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	p := PeriodicPolicy{Interval: 1000}
+	if p.ShouldCheckpoint(999, 1.0) || !p.ShouldCheckpoint(1000, 1.0) {
+		t.Error("periodic policy wrong")
+	}
+	v := VoltageTriggeredPolicy{Threshold: 0.6, MinUncommitted: 100}
+	if v.ShouldCheckpoint(1000, 0.7) {
+		t.Error("voltage policy fired above threshold")
+	}
+	if !v.ShouldCheckpoint(1000, 0.5) {
+		t.Error("voltage policy did not fire below threshold")
+	}
+	if v.ShouldCheckpoint(50, 0.5) {
+		t.Error("voltage policy fired with nothing to save")
+	}
+	if (NeverPolicy{}).ShouldCheckpoint(1e12, 0) {
+		t.Error("never policy fired")
+	}
+	for _, pol := range []Policy{p, v, NeverPolicy{}} {
+		if pol.Name() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+func TestStableLightCompletesWithExpectedOverhead(t *testing.T) {
+	task := Task{TotalCycles: 2e6, StateBytes: 2048}
+	e := &Executor{
+		Task:   task,
+		Policy: PeriodicPolicy{Interval: 0.5e6},
+		Supply: 0.55,
+	}
+	out := runExecutor(t, e, circuit.ConstantIrradiance(1.0), 100e-3)
+	if !e.Stats.Completed {
+		t.Fatalf("task did not complete: %+v", e.Stats)
+	}
+	if !out.Stopped || out.StopReason != "task committed" {
+		t.Error("executor did not stop the run on completion")
+	}
+	if e.Stats.Failures != 0 || e.Stats.Lost != 0 {
+		t.Errorf("unexpected failures under stable light: %+v", e.Stats)
+	}
+	// 2e6 work at 0.5e6 intervals: 4 checkpoints (the last doubles as the
+	// final commit).
+	if e.Stats.Checkpoints != 4 {
+		t.Errorf("checkpoints = %d, want 4", e.Stats.Checkpoints)
+	}
+	wantOverhead := 4 * e.Memory.CheckpointCycles(task.StateBytes)
+	if math.Abs(e.Stats.CheckpointCycles-wantOverhead) > 1 {
+		t.Errorf("checkpoint overhead %g, want %g", e.Stats.CheckpointCycles, wantOverhead)
+	}
+	if e.Stats.Committed < task.TotalCycles {
+		t.Errorf("committed %g < task %g", e.Stats.Committed, task.TotalCycles)
+	}
+}
+
+func TestSurvivesPowerFailures(t *testing.T) {
+	// 3 ms light / 3 ms darkness on a small cap: repeated brownouts. The
+	// periodic-checkpointed task must still finish.
+	task := Task{TotalCycles: 6e6, StateBytes: 1024}
+	e := &Executor{
+		Task:   task,
+		Policy: PeriodicPolicy{Interval: 0.4e6},
+		Supply: 0.55,
+	}
+	runExecutor(t, e, blink(3e-3), 400e-3)
+	if e.Stats.Failures == 0 {
+		t.Fatal("scenario produced no power failures; test is vacuous")
+	}
+	if !e.Stats.Completed {
+		t.Fatalf("task did not survive %d failures: committed %.3g of %.3g",
+			e.Stats.Failures, e.Stats.Committed, task.TotalCycles)
+	}
+	if e.Stats.RestoreCycles == 0 {
+		t.Error("no restore work despite failures")
+	}
+	if e.Stats.Committed < task.TotalCycles {
+		t.Errorf("completed with committed %g < total %g", e.Stats.Committed, task.TotalCycles)
+	}
+}
+
+func TestNeverPolicyCannotFinishLongTask(t *testing.T) {
+	// The task needs more cycles than one light window provides, so without
+	// checkpoints it restarts from zero forever (the Sisyphus effect).
+	task := Task{TotalCycles: 6e6, StateBytes: 1024}
+	e := &Executor{
+		Task:   task,
+		Policy: NeverPolicy{},
+		Supply: 0.55,
+	}
+	runExecutor(t, e, blink(3e-3), 200e-3)
+	if e.Stats.Completed {
+		t.Fatal("uncheckpointed long task completed across power failures")
+	}
+	if e.Stats.Failures == 0 {
+		t.Fatal("no failures; test is vacuous")
+	}
+	if e.Stats.Lost == 0 {
+		t.Error("no work lost despite failures")
+	}
+	if e.Stats.Committed != 0 {
+		t.Errorf("never-policy committed %g cycles", e.Stats.Committed)
+	}
+}
+
+func TestVoltageTriggeredBeatsPeriodicOnOverhead(t *testing.T) {
+	// Under the same intermittent supply, the just-in-time policy writes
+	// far fewer checkpoints than a tight periodic policy.
+	// A modest operating point that full light sustains indefinitely, so
+	// the voltage trigger only fires when the light actually goes out.
+	mk := func(p Policy) *Executor {
+		return &Executor{
+			Task:   Task{TotalCycles: 4e6, StateBytes: 4096},
+			Policy: p,
+			Supply: 0.45,
+		}
+	}
+	periodic := mk(PeriodicPolicy{Interval: 0.2e6})
+	runExecutor(t, periodic, blink(4e-3), 600e-3)
+	jit := mk(VoltageTriggeredPolicy{Threshold: 0.70, MinUncommitted: 1e4})
+	runExecutor(t, jit, blink(4e-3), 600e-3)
+
+	if !periodic.Stats.Completed || !jit.Stats.Completed {
+		t.Fatalf("both should complete: periodic=%v jit=%v", periodic.Stats.Completed, jit.Stats.Completed)
+	}
+	if jit.Stats.CheckpointCycles >= periodic.Stats.CheckpointCycles {
+		t.Errorf("JIT overhead %g >= periodic %g", jit.Stats.CheckpointCycles, periodic.Stats.CheckpointCycles)
+	}
+	if jit.Stats.Checkpoints >= periodic.Stats.Checkpoints {
+		t.Errorf("JIT wrote %d checkpoints, periodic %d; JIT should write fewer",
+			jit.Stats.Checkpoints, periodic.Stats.Checkpoints)
+	}
+}
+
+func TestTornCheckpointAtomicity(t *testing.T) {
+	// A huge state makes checkpoints slow enough to be interrupted; the
+	// committed count must only ever reflect fully committed checkpoints.
+	task := Task{TotalCycles: 5e6, StateBytes: 200_000} // 800k cycles/ckpt
+	e := &Executor{
+		Task:   task,
+		Policy: PeriodicPolicy{Interval: 0.3e6},
+		Supply: 0.55,
+	}
+	runExecutor(t, e, blink(2.5e-3), 500e-3)
+	if e.Stats.TornCheckpoints == 0 {
+		t.Skip("no checkpoint happened to be interrupted; scenario too gentle")
+	}
+	// Committed must be a multiple of the policy interval pieces actually
+	// committed — i.e. it never includes a torn checkpoint's volatile work.
+	if e.Stats.Committed > task.TotalCycles {
+		t.Errorf("committed %g exceeds the task", e.Stats.Committed)
+	}
+	if e.Stats.Committed < 0 {
+		t.Error("negative committed")
+	}
+}
+
+// Property: across random blink periods, accounting is always consistent:
+// committed+volatile <= total work; lost/overhead non-negative; committed
+// monotone implies committed <= total.
+func TestQuickAccountingInvariants(t *testing.T) {
+	f := func(periodRaw uint8, intervalRaw uint8) bool {
+		period := 1e-3 + float64(periodRaw)/255*6e-3
+		interval := 1e5 + float64(intervalRaw)/255*9e5
+		task := Task{TotalCycles: 3e6, StateBytes: 512}
+		e := &Executor{
+			Task:   task,
+			Policy: PeriodicPolicy{Interval: interval},
+			Supply: 0.55,
+		}
+		storage, err := cap.New(47e-6, 1.0, 2.0)
+		if err != nil {
+			return false
+		}
+		sim, err := circuit.New(circuit.Config{
+			Cell:       pv.NewCell(),
+			Proc:       cpu.NewProcessor(),
+			Reg:        reg.NewSC(),
+			Cap:        storage,
+			Irradiance: blink(period),
+			Controller: e,
+			Step:       5e-6,
+			MaxTime:    120e-3,
+		})
+		if err != nil {
+			return false
+		}
+		if _, err := sim.Run(); err != nil {
+			return false
+		}
+		s := e.Stats
+		switch {
+		case s.Committed < 0 || s.Volatile < 0 || s.Lost < 0:
+			return false
+		case s.Committed+s.Volatile > task.TotalCycles+1:
+			return false
+		case s.Completed && s.Committed < task.TotalCycles:
+			return false
+		case s.CheckpointCycles < 0 || s.RestoreCycles < 0:
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntermittentExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := &Executor{
+			Task:   Task{TotalCycles: 2e6, StateBytes: 1024},
+			Policy: PeriodicPolicy{Interval: 0.5e6},
+			Supply: 0.55,
+		}
+		runExecutor(b, e, blink(3e-3), 100e-3)
+	}
+}
+
+func TestAdaptivePolicyUnit(t *testing.T) {
+	p := &AdaptivePolicy{}
+	if p.Name() != "adaptive" {
+		t.Error("name wrong")
+	}
+	if got := p.Interval(); got != 0.5e6 {
+		t.Errorf("initial interval %g, want 0.5e6", got)
+	}
+	if p.ShouldCheckpoint(0.4e6, 1.0) || !p.ShouldCheckpoint(0.5e6, 1.0) {
+		t.Error("threshold logic wrong")
+	}
+	// Frequent failures with little work shrink the interval.
+	for i := 0; i < 5; i++ {
+		p.OnFailure(0.2e6)
+	}
+	if got := p.Interval(); got > 0.1e6 {
+		t.Errorf("interval after flaky power %g, want <= 0.05e6*?.. shrunk below 0.1e6", got)
+	}
+	// Long stable windows grow it back, bounded by Max.
+	for i := 0; i < 12; i++ {
+		p.OnFailure(50e6)
+	}
+	if got := p.Interval(); got != 5e6 {
+		t.Errorf("interval after stable power %g, want clamp at Max 5e6", got)
+	}
+	// Zero-work failures clamp at Min.
+	q := &AdaptivePolicy{}
+	for i := 0; i < 10; i++ {
+		q.OnFailure(0)
+	}
+	if got := q.Interval(); got < 50e3-1 || got > 0.3e6 {
+		t.Errorf("interval after zero-work failures %g, want near Min", got)
+	}
+}
+
+func TestAdaptivePolicyCompletesAndAdapts(t *testing.T) {
+	task := Task{TotalCycles: 6e6, StateBytes: 1024}
+	pol := &AdaptivePolicy{}
+	e := &Executor{Task: task, Policy: pol, Supply: 0.55}
+	runExecutor(t, e, blink(3e-3), 400e-3)
+	if e.Stats.Failures == 0 {
+		t.Fatal("no failures; test is vacuous")
+	}
+	if !e.Stats.Completed {
+		t.Fatalf("adaptive task did not complete: %+v", e.Stats)
+	}
+	// The learned interval should reflect the observed power windows: below
+	// the generous default but above the floor.
+	if got := pol.Interval(); got <= 50e3 || got >= 5e6 {
+		t.Errorf("learned interval %g not in the interior", got)
+	}
+}
+
+func TestAdaptiveBeatsFixedOnMismatchedInterval(t *testing.T) {
+	// A fixed policy with a badly mismatched (too long) interval loses most
+	// work to failures; the adaptive policy converges to the environment.
+	task := Task{TotalCycles: 6e6, StateBytes: 1024}
+	fixed := &Executor{Task: task, Policy: PeriodicPolicy{Interval: 4e6}, Supply: 0.55}
+	runExecutor(t, fixed, blink(3e-3), 400e-3)
+	adaptive := &Executor{Task: task, Policy: &AdaptivePolicy{Initial: 4e6}, Supply: 0.55}
+	runExecutor(t, adaptive, blink(3e-3), 400e-3)
+	if adaptive.Stats.Committed <= fixed.Stats.Committed {
+		t.Errorf("adaptive committed %.3g <= fixed %.3g", adaptive.Stats.Committed, fixed.Stats.Committed)
+	}
+}

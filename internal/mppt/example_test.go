@@ -1,0 +1,25 @@
+package mppt_test
+
+import (
+	"fmt"
+
+	"repro/internal/mppt"
+)
+
+// The paper's Eq. 7: derive the harvester's input power from how long the
+// storage capacitor took to fall between two comparator thresholds.
+func ExampleEstimateInputPower() {
+	pin, err := mppt.EstimateInputPower(
+		100e-6,  // 100 uF storage capacitor
+		1.00,    // V1 threshold
+		0.90,    // V2 threshold
+		1.36e-3, // observed V1->V2 crossing time (s)
+		10e-3,   // power the regulator drew during the window (W)
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimated input power: %.2f mW\n", pin*1e3)
+	// Output:
+	// estimated input power: 3.01 mW
+}

@@ -1,0 +1,99 @@
+package mppt
+
+import (
+	"repro/internal/circuit"
+)
+
+// PerturbObserve is the conventional hill-climbing MPP tracker the paper's
+// time-based scheme is an alternative to: periodically perturb the
+// operating point, observe whether harvested power rose or fell, and keep
+// walking in the improving direction. It needs no pre-characterised table,
+// but it converges one perturbation step at a time, so a sudden light
+// change costs many periods before the node returns to the MPP — the
+// motivation for the paper's one-shot Eq. 7 estimator.
+//
+// The tracker modulates the processor's clock (the paper's DVFS knob): a
+// higher clock draws the node voltage down, a lower clock lets it rise.
+type PerturbObserve struct {
+	// Supply is the fixed regulated output voltage (V).
+	Supply float64
+	// Period is the perturb/observe interval (s). Zero selects 1 ms.
+	Period float64
+	// StepFraction is the relative frequency perturbation. Zero selects 2%.
+	StepFraction float64
+	// InitialFrequency seeds the clock (Hz). Zero selects half the maximum
+	// at Supply.
+	InitialFrequency float64
+
+	// Perturbations counts the observe cycles taken.
+	Perturbations int
+
+	direction   float64 // +1 or -1: current walking direction
+	lastPower   float64 // average harvested power of the previous window
+	windowSum   float64
+	windowN     int
+	nextDecide  float64
+	commandFreq float64
+}
+
+var _ circuit.Controller = (*PerturbObserve)(nil)
+
+// Init implements circuit.Controller.
+func (po *PerturbObserve) Init(s *circuit.State) {
+	if po.Period == 0 {
+		po.Period = 1e-3
+	}
+	if po.StepFraction == 0 {
+		po.StepFraction = 0.02
+	}
+	if po.InitialFrequency == 0 {
+		po.InitialFrequency = 0.5 * s.Processor().MaxFrequency(po.Supply)
+	}
+	po.direction = 1
+	po.commandFreq = po.InitialFrequency
+	po.nextDecide = po.Period
+	s.SetBypass(false)
+	s.SetSupply(po.Supply)
+	s.SetFrequency(po.commandFreq)
+}
+
+// OnStep implements circuit.Controller.
+func (po *PerturbObserve) OnStep(s *circuit.State) {
+	// Observe: accumulate the input power drawn from the node, which at
+	// quasi-steady state equals the harvested power.
+	po.windowSum += s.InputPower()
+	po.windowN++
+
+	if s.Time() < po.nextDecide {
+		return
+	}
+	po.nextDecide += po.Period
+	po.Perturbations++
+
+	avg := 0.0
+	if po.windowN > 0 {
+		avg = po.windowSum / float64(po.windowN)
+	}
+	po.windowSum, po.windowN = 0, 0
+
+	// Decide: keep walking if power improved, reverse otherwise.
+	if avg < po.lastPower {
+		po.direction = -po.direction
+	}
+	po.lastPower = avg
+
+	// Perturb the clock.
+	po.commandFreq *= 1 + po.direction*po.StepFraction
+	if fm := s.Processor().MaxFrequency(po.Supply); po.commandFreq > fm {
+		po.commandFreq = fm
+		po.direction = -1
+	}
+	if floor := 0.01 * s.Processor().MaxFrequency(po.Supply); po.commandFreq < floor {
+		po.commandFreq = floor
+		po.direction = 1
+	}
+	s.SetFrequency(po.commandFreq)
+}
+
+// OnThreshold implements circuit.Controller.
+func (po *PerturbObserve) OnThreshold(*circuit.State, circuit.ThresholdEvent) {}

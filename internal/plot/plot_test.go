@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var b strings.Builder
+	s := Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	err := Chart{Title: "T", XLabel: "x", YLabel: "y"}.Render(&b, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T", "line", "*", "x: x", "y: y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// A diagonal: the marker should appear on multiple rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") && strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows < 3 {
+		t.Errorf("diagonal drawn on %d rows, want several", rows)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	var b strings.Builder
+	s1 := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	s2 := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	if err := (Chart{}).Render(&b, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("distinct markers missing")
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	var b strings.Builder
+	s := Series{
+		Name: "gappy",
+		X:    []float64{0, 1, 2, 3},
+		Y:    []float64{1, math.Inf(1), math.NaN(), 2},
+	}
+	if err := (Chart{}).Render(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 {
+		t.Error("no output for partially finite data")
+	}
+}
+
+func TestRenderNoData(t *testing.T) {
+	var b strings.Builder
+	err := Chart{}.Render(&b, Series{Name: "empty"})
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("want ErrNoData, got %v", err)
+	}
+	err = Chart{}.Render(&b, Series{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}})
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("all-NaN: want ErrNoData, got %v", err)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (flat X or Y) must not divide by zero.
+	var b strings.Builder
+	s := Series{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}}
+	if err := (Chart{}).Render(&b, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderMismatchedLengths(t *testing.T) {
+	var b strings.Builder
+	s := Series{Name: "ragged", X: []float64{0, 1, 2}, Y: []float64{5}}
+	if err := (Chart{}).Render(&b, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	s1 := Series{Name: "plain", X: []float64{1, 2}, Y: []float64{3, 4}}
+	s2 := Series{Name: `with,comma "q"`, X: []float64{5}, Y: []float64{6}}
+	if err := WriteCSV(&b, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if lines[1] != "plain,1,3" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], `"with,comma ""q""",5,6`) {
+		t.Errorf("escaped row = %q", lines[3])
+	}
+}
+
+func TestPickFormat(t *testing.T) {
+	if f := pickFormat(0, 0); f != "%8.2f" {
+		t.Errorf("zero span: %q", f)
+	}
+	if f := pickFormat(0, 1e6); f != "%8.2e" {
+		t.Errorf("large span: %q", f)
+	}
+	if f := pickFormat(0, 1e-3); f != "%8.2e" {
+		t.Errorf("tiny span: %q", f)
+	}
+	if f := pickFormat(0, 10); f != "%8.3f" {
+		t.Errorf("normal span: %q", f)
+	}
+}

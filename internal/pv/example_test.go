@@ -1,0 +1,33 @@
+package pv_test
+
+import (
+	"fmt"
+
+	"repro/internal/pv"
+)
+
+// Characterise the default (paper-calibrated) solar cell at full sun.
+func ExampleCell_MPP() {
+	cell := pv.NewCell()
+	v, p := cell.MPP(pv.FullSun)
+	fmt.Printf("MPP: %.2f V, %.1f mW\n", v, p*1e3)
+	fmt.Printf("Voc: %.2f V, Isc: %.1f mA\n",
+		cell.OpenCircuitVoltage(pv.FullSun), cell.ShortCircuitCurrent(pv.FullSun)*1e3)
+	// Output:
+	// MPP: 1.10 V, 15.5 mW
+	// Voc: 1.40 V, Isc: 16.0 mA
+}
+
+// A shaded string develops several local maxima; GlobalMPP finds the true one.
+func ExampleArray_GlobalMPP() {
+	arr, err := pv.NewArray([]*pv.Cell{pv.NewCell(), pv.NewCell()})
+	if err != nil {
+		panic(err)
+	}
+	shading := []float64{1.0, 0.3}
+	v, p := arr.GlobalMPP(shading)
+	fmt.Printf("global MPP: %.2f V, %.1f mW (%d local maxima)\n",
+		v, p*1e3, len(arr.LocalMPPs(shading)))
+	// Output:
+	// global MPP: 0.78 V, 10.6 mW (2 local maxima)
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// DeadlineController drives the transient simulator through a deadline-
+// constrained job, optionally with sprinting (Sec. VI.B) and regulator
+// bypass (Sec. VII). With Sprint == 0 and AllowBypass == false it is the
+// conventional constant-speed baseline of Fig. 9b/11b.
+//
+// The controller tracks the job's remaining cycles: the commanded rate is
+// the sprint profile or, when the run has fallen behind (e.g. after a
+// brownout stall), the catch-up rate (remaining cycles over remaining
+// time), whichever is higher.
+type DeadlineController struct {
+	// Cycles is the job length N (clock cycles). Required.
+	Cycles float64
+	// Deadline is the completion window T (s). Required.
+	Deadline float64
+	// Sprint is the sprint factor s in [0, 1): the first half of the window
+	// runs at (1-s)*f0 and the second at (1+s)*f0. Zero disables sprinting.
+	Sprint float64
+	// AllowBypass enables switching to direct connection when the regulator
+	// can no longer sustain the required supply voltage.
+	AllowBypass bool
+	// SupplyMargin is extra headroom (V) commanded above the minimum supply
+	// for the target frequency. Zero selects a default of 0.01 V.
+	SupplyMargin float64
+	// StopOnDropout declares the job failed (ending the simulation) when
+	// the regulator can no longer sustain the required supply and bypass is
+	// not allowed — the conventional baseline of Fig. 11b, whose operation
+	// ends when the output cannot be held above the job's voltage.
+	StopOnDropout bool
+
+	// BypassedAt records when the controller switched to bypass (s);
+	// negative if it never did.
+	BypassedAt float64
+	// DroppedOutAt records when the regulator first failed to sustain the
+	// required supply (s); negative if it never happened.
+	DroppedOutAt float64
+}
+
+var _ circuit.Controller = (*DeadlineController)(nil)
+
+// Init implements circuit.Controller.
+func (dc *DeadlineController) Init(s *circuit.State) {
+	if dc.SupplyMargin == 0 {
+		dc.SupplyMargin = 0.01
+	}
+	dc.BypassedAt = -1
+	dc.DroppedOutAt = -1
+	s.SetBypass(false)
+	dc.command(s)
+}
+
+// OnStep implements circuit.Controller.
+func (dc *DeadlineController) OnStep(s *circuit.State) {
+	dc.command(s)
+}
+
+// OnThreshold implements circuit.Controller.
+func (dc *DeadlineController) OnThreshold(*circuit.State, circuit.ThresholdEvent) {}
+
+// profileRate returns the scheduled clock rate (Hz) at time t.
+func (dc *DeadlineController) profileRate(t float64) float64 {
+	f0 := dc.Cycles / dc.Deadline
+	if dc.Sprint <= 0 {
+		return f0
+	}
+	if t < dc.Deadline/2 {
+		return (1 - dc.Sprint) * f0
+	}
+	return (1 + dc.Sprint) * f0
+}
+
+// scheduledCycles returns how many cycles the profile plans to have
+// finished by time t.
+func (dc *DeadlineController) scheduledCycles(t float64) float64 {
+	f0 := dc.Cycles / dc.Deadline
+	half := dc.Deadline / 2
+	switch {
+	case t <= 0:
+		return 0
+	case t <= half:
+		return (1 - dc.Sprint) * f0 * t
+	case t <= dc.Deadline:
+		return (1-dc.Sprint)*f0*half + (1+dc.Sprint)*f0*(t-half)
+	default:
+		return dc.Cycles
+	}
+}
+
+// command resolves and applies the DVFS point for the current instant.
+func (dc *DeadlineController) command(s *circuit.State) {
+	t := s.Time()
+	proc := s.Processor()
+
+	// Target rate: the sprint profile, plus catch-up when execution has
+	// fallen behind the profile's own schedule (e.g. after a brownout
+	// stall). The catch-up spreads the deficit over the remaining window so
+	// a transient stall does not defeat the slow first half by design.
+	f := dc.profileRate(t)
+	remaining := dc.Cycles - s.CyclesDone()
+	left := dc.Deadline - t
+	if left > 0 {
+		if deficit := dc.scheduledCycles(t) - s.CyclesDone(); deficit > 0 {
+			f += deficit / left
+		}
+	} else if remaining > 0 {
+		f = math.Inf(1) // past the deadline: flat out
+	}
+
+	if s.Bypassed() {
+		// Direct connection: the supply tracks the node; the simulator
+		// clamps the clock to fmax(node).
+		s.SetFrequency(f)
+		return
+	}
+
+	vdd, err := proc.VoltageForFrequency(f)
+	if err != nil {
+		// Beyond the core's ceiling even at maximum voltage: saturate.
+		vdd = proc.MaxVoltage()
+		f = proc.MaxFrequency(vdd)
+	}
+	vdd += dc.SupplyMargin
+
+	_, hi := s.Regulator().OutputRange(s.CapVoltage())
+	if vdd > hi {
+		// Regulator dropout: it cannot sustain the required supply.
+		if dc.DroppedOutAt < 0 {
+			dc.DroppedOutAt = t
+		}
+		if dc.AllowBypass && s.CapVoltage() > hi {
+			// Direct connection delivers the full node voltage instead.
+			s.SetBypass(true)
+			if dc.BypassedAt < 0 {
+				dc.BypassedAt = t
+			}
+			s.SetFrequency(f)
+			return
+		}
+		if dc.StopOnDropout {
+			s.Stop("regulator dropout")
+			return
+		}
+		vdd = hi // best the regulator can do; the core slows or halts
+	}
+	s.SetSupply(vdd)
+	s.SetFrequency(f)
+}

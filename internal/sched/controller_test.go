@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/pv"
+	"repro/internal/reg"
+)
+
+// runControlled assembles a simulation around a DeadlineController.
+func runControlled(t *testing.T, ctl *DeadlineController, irr func(float64) float64, v0, maxTime float64, traceEvery int) *circuit.Outcome {
+	t.Helper()
+	storage, err := cap.New(100e-6, v0, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := circuit.New(circuit.Config{
+		Cell:           pv.NewCell(),
+		Proc:           cpu.NewProcessor(),
+		Reg:            reg.NewBuck(),
+		Cap:            storage,
+		Irradiance:     irr,
+		Controller:     ctl,
+		Step:           2e-6,
+		MaxTime:        maxTime,
+		JobCycles:      ctl.Cycles,
+		TraceEvery:     traceEvery,
+		StopOnBrownout: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestConstantSpeedCompletesOnTime(t *testing.T) {
+	ctl := &DeadlineController{Cycles: 4e6, Deadline: 20e-3}
+	out := runControlled(t, ctl, circuit.ConstantIrradiance(1.0), 1.09, 40e-3, 0)
+	if !out.Completed {
+		t.Fatalf("job did not complete: %+v", out)
+	}
+	// On time, and not absurdly early (constant speed tracks the deadline).
+	if out.CompletionTime > 21e-3 {
+		t.Errorf("completed at %.2f ms, deadline 20 ms", out.CompletionTime*1e3)
+	}
+	if out.CompletionTime < 17e-3 {
+		t.Errorf("completed at %.2f ms: constant-speed run should take ~T", out.CompletionTime*1e3)
+	}
+}
+
+func TestSprintProfileSlowThenFast(t *testing.T) {
+	ctl := &DeadlineController{Cycles: 4e6, Deadline: 20e-3, Sprint: 0.3}
+	out := runControlled(t, ctl, circuit.ConstantIrradiance(1.0), 1.09, 40e-3, 50)
+	if !out.Completed {
+		t.Fatalf("sprint job did not complete")
+	}
+	if out.Trace == nil {
+		t.Fatal("no trace")
+	}
+	f0 := 4e6 / 20e-3
+	var early, late []float64
+	for _, s := range out.Trace.Samples {
+		switch {
+		case s.Time > 1e-3 && s.Time < 9e-3:
+			early = append(early, s.Frequency)
+		case s.Time > 11e-3 && s.Time < 19e-3:
+			late = append(late, s.Frequency)
+		}
+	}
+	if len(early) == 0 || len(late) == 0 {
+		t.Fatal("trace windows empty")
+	}
+	if e := mean(early); math.Abs(e-0.7*f0)/f0 > 0.05 {
+		t.Errorf("early frequency %.3g, want ~0.7*f0 = %.3g", e, 0.7*f0)
+	}
+	if l := mean(late); math.Abs(l-1.3*f0)/f0 > 0.05 {
+		t.Errorf("late frequency %.3g, want ~1.3*f0 = %.3g", l, 1.3*f0)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func TestScheduledCycles(t *testing.T) {
+	dc := &DeadlineController{Cycles: 1e6, Deadline: 10e-3, Sprint: 0.2}
+	if got := dc.scheduledCycles(0); got != 0 {
+		t.Errorf("at 0: %g", got)
+	}
+	// End of the slow half: (1-s)*N/2.
+	if got, want := dc.scheduledCycles(5e-3), 0.8*0.5e6; math.Abs(got-want) > 1 {
+		t.Errorf("half: %g, want %g", got, want)
+	}
+	if got := dc.scheduledCycles(10e-3); math.Abs(got-1e6) > 1 {
+		t.Errorf("deadline: %g, want 1e6", got)
+	}
+	if got := dc.scheduledCycles(20e-3); got != 1e6 {
+		t.Errorf("past deadline: %g", got)
+	}
+	if got := dc.scheduledCycles(-1); got != 0 {
+		t.Errorf("before start: %g", got)
+	}
+}
+
+func TestBypassEngagesOnDimming(t *testing.T) {
+	ctl := &DeadlineController{Cycles: 6e6, Deadline: 26e-3, AllowBypass: true}
+	irr := circuit.RampIrradiance(0.5, 0.02, 6e-3, 18e-3)
+	out := runControlled(t, ctl, irr, 1.03, 52e-3, 0)
+	if ctl.BypassedAt < 0 {
+		t.Fatal("controller never bypassed despite dimming")
+	}
+	if ctl.DroppedOutAt < 0 || ctl.BypassedAt < ctl.DroppedOutAt {
+		t.Errorf("bypass at %.3g before dropout at %.3g", ctl.BypassedAt, ctl.DroppedOutAt)
+	}
+	_ = out
+}
+
+func TestStopOnDropoutEndsRun(t *testing.T) {
+	ctl := &DeadlineController{Cycles: 6e6, Deadline: 26e-3, StopOnDropout: true}
+	irr := circuit.RampIrradiance(0.5, 0.02, 6e-3, 18e-3)
+	out := runControlled(t, ctl, irr, 1.03, 52e-3, 0)
+	if !out.Stopped {
+		t.Fatalf("run not stopped on dropout: %+v", out)
+	}
+	if out.StopReason == "" {
+		t.Error("missing stop reason")
+	}
+	if ctl.DroppedOutAt < 0 {
+		t.Error("dropout not recorded")
+	}
+	// The node should still hold meaningful charge at the stop: the whole
+	// point of the bypass comparison is the energy stranded by the baseline.
+	if out.FinalCapVoltage < 0.4 {
+		t.Errorf("baseline drained the node to %.3f V before stopping", out.FinalCapVoltage)
+	}
+}
+
+func TestBypassExtendsOperationOverBaseline(t *testing.T) {
+	irr := circuit.RampIrradiance(0.5, 0.02, 6e-3, 18e-3)
+
+	base := &DeadlineController{Cycles: 6e6, Deadline: 26e-3, StopOnDropout: true}
+	outBase := runControlled(t, base, irr, 1.03, 52e-3, 0)
+
+	prop := &DeadlineController{Cycles: 6e6, Deadline: 26e-3, AllowBypass: true, Sprint: 0.2}
+	outProp := runControlled(t, prop, irr, 1.03, 52e-3, 0)
+
+	endOf := func(o *circuit.Outcome) float64 {
+		switch {
+		case o.Completed:
+			return o.CompletionTime
+		case o.Stopped:
+			return o.StoppedAt
+		case o.BrownedOut:
+			return o.BrownoutTime
+		default:
+			return o.Duration
+		}
+	}
+	if endOf(outProp) <= endOf(outBase) {
+		t.Errorf("proposed policy (%.2f ms) did not outlast baseline (%.2f ms)",
+			endOf(outProp)*1e3, endOf(outBase)*1e3)
+	}
+	if outProp.CyclesDone <= outBase.CyclesDone {
+		t.Errorf("proposed policy did less work: %.3g vs %.3g cycles",
+			outProp.CyclesDone, outBase.CyclesDone)
+	}
+}
+
+func TestCatchUpAfterStall(t *testing.T) {
+	// Darkness for the first 4 ms stalls execution (brownout from a low
+	// initial node); light then returns. The controller must catch up and
+	// still finish close to the deadline.
+	irr := circuit.StepIrradiance(0.0, 1.0, 4e-3)
+	ctl := &DeadlineController{Cycles: 4e6, Deadline: 24e-3}
+	storage, err := cap.New(100e-6, 0.35, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := circuit.New(circuit.Config{
+		Cell:       pv.NewCell(),
+		Proc:       cpu.NewProcessor(),
+		Reg:        reg.NewBuck(),
+		Cap:        storage,
+		Irradiance: irr,
+		Controller: ctl,
+		Step:       2e-6,
+		MaxTime:    60e-3,
+		JobCycles:  ctl.Cycles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatalf("job never completed after the stall: %+v", out)
+	}
+	if out.CompletionTime > 30e-3 {
+		t.Errorf("catch-up too slow: completed at %.2f ms", out.CompletionTime*1e3)
+	}
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cpu"
+)
+
+// Errors returned by the duty-cycle planner.
+var (
+	// ErrNeverSustainable indicates that even permanent sleep consumes more
+	// than the harvest supplies.
+	ErrNeverSustainable = errors.New("sched: sleep floor exceeds harvested power")
+)
+
+// DutyCyclePlan is the energy-neutral operating schedule for long-horizon
+// operation (the paper's intro cites adapting sleep duty cycles to energy
+// availability): run active bursts at a chosen DVFS point, sleep in
+// between, such that average consumption matches average harvest and the
+// storage level is preserved.
+type DutyCyclePlan struct {
+	ActiveSupply   float64 // supply during active bursts (V)
+	ActiveFreq     float64 // clock during active bursts (Hz)
+	ActivePower    float64 // source-side draw while active (W)
+	SleepPower     float64 // source-side draw while sleeping (W)
+	DutyCycle      float64 // fraction of time active, in [0, 1]
+	AverageThrough float64 // sustained clock rate = DutyCycle * ActiveFreq (Hz)
+}
+
+// PlanDutyCycle computes the largest energy-neutral duty cycle for a
+// processor running active bursts at the given supply voltage, through a
+// converter of efficiency eta, against an average harvested power (W).
+// sleepPower is the node's total draw while sleeping (retention + always-on
+// monitors), source side. The duty cycle D solves
+//
+//	D*activeDraw + (1-D)*sleepPower = harvest.
+//
+// D caps at 1 when the harvest sustains continuous operation.
+func PlanDutyCycle(proc *cpu.Processor, supply, eta, harvest, sleepPower float64) (DutyCyclePlan, error) {
+	if eta <= 0 || eta > 1 {
+		return DutyCyclePlan{}, fmt.Errorf("sched: efficiency %g out of (0, 1]", eta)
+	}
+	if harvest < sleepPower {
+		return DutyCyclePlan{}, fmt.Errorf("%w: sleep %.3g W, harvest %.3g W", ErrNeverSustainable, sleepPower, harvest)
+	}
+	f := proc.MaxFrequency(supply)
+	activeDraw := proc.Power(supply, f) / eta
+	d := 1.0
+	if activeDraw > sleepPower {
+		d = (harvest - sleepPower) / (activeDraw - sleepPower)
+	}
+	if d > 1 {
+		d = 1
+	}
+	return DutyCyclePlan{
+		ActiveSupply:   supply,
+		ActiveFreq:     f,
+		ActivePower:    activeDraw,
+		SleepPower:     sleepPower,
+		DutyCycle:      d,
+		AverageThrough: d * f,
+	}, nil
+}
+
+// BestDutyCyclePoint searches supply voltages for the energy-neutral plan
+// with the highest sustained throughput — the long-horizon analogue of the
+// Sec. IV optimisation. The efficiency is queried per candidate through
+// etaAt(supply, activeLoadPower), so converter profiles fold in exactly.
+func BestDutyCyclePoint(proc *cpu.Processor, harvest, sleepPower float64,
+	etaAt func(supply, loadPower float64) float64) (DutyCyclePlan, error) {
+
+	if harvest < sleepPower {
+		return DutyCyclePlan{}, fmt.Errorf("%w: sleep %.3g W, harvest %.3g W", ErrNeverSustainable, sleepPower, harvest)
+	}
+	best := DutyCyclePlan{AverageThrough: math.Inf(-1)}
+	found := false
+	for v := proc.MinVoltage(); v <= proc.MaxVoltage(); v += 0.005 {
+		f := proc.MaxFrequency(v)
+		load := proc.Power(v, f)
+		eta := etaAt(v, load)
+		if eta <= 0 || eta > 1 {
+			continue
+		}
+		plan, err := PlanDutyCycle(proc, v, eta, harvest, sleepPower)
+		if err != nil {
+			continue
+		}
+		if plan.AverageThrough > best.AverageThrough {
+			best = plan
+			found = true
+		}
+	}
+	if !found {
+		return DutyCyclePlan{}, fmt.Errorf("%w: no reachable operating point", ErrNeverSustainable)
+	}
+	return best, nil
+}

@@ -1,0 +1,34 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sched"
+)
+
+// Plan a deadline-constrained job per Eq. 8-10.
+func ExamplePlanDeadline() {
+	proc := cpu.NewProcessor()
+	plan, err := sched.PlanDeadline(proc, 6e6, 20e-3, 0.67)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("run at %.0f MHz / %.2f V, drawing %.2f mJ from the source\n",
+		plan.Frequency/1e6, plan.Supply, plan.SourceEnergy*1e3)
+	// Output:
+	// run at 300 MHz / 0.49 V, drawing 0.21 mJ from the source
+}
+
+// The Eq. 12-13 sprinting schedule around a 20 ms deadline.
+func ExampleNewSprintPlan() {
+	proc := cpu.NewProcessor()
+	plan, err := sched.NewSprintPlan(proc, 6e6, 20e-3, 0.2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("slow half: %.0f MHz, fast half: %.0f MHz\n",
+		plan.SlowFrequency/1e6, plan.FastFrequency/1e6)
+	// Output:
+	// slow half: 240 MHz, fast half: 360 MHz
+}

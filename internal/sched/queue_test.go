@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/pv"
+	"repro/internal/reg"
+)
+
+// runQueue executes a QueueController on the standard test rig.
+func runQueue(t *testing.T, qc *QueueController, irr func(float64) float64, v0, maxTime float64) *circuit.Outcome {
+	t.Helper()
+	storage, err := cap.New(100e-6, v0, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := circuit.New(circuit.Config{
+		Cell:       pv.NewCell(),
+		Proc:       cpu.NewProcessor(),
+		Reg:        reg.NewSC(),
+		Cap:        storage,
+		Irradiance: irr,
+		Controller: qc,
+		Step:       4e-6,
+		MaxTime:    maxTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestQueueCompletesStaggeredJobs(t *testing.T) {
+	qc := &QueueController{
+		Jobs: []QueueJob{
+			{Name: "late", Cycles: 2e6, Release: 0, Deadline: 50e-3},
+			{Name: "early", Cycles: 2e6, Release: 0, Deadline: 20e-3},
+			{Name: "released-later", Cycles: 1e6, Release: 25e-3, Deadline: 45e-3},
+		},
+	}
+	runQueue(t, qc, circuit.ConstantIrradiance(1.0), 1.09, 60e-3)
+	if len(qc.Missed) != 0 {
+		t.Fatalf("missed %v under ample light", qc.Missed)
+	}
+	if len(qc.Completed) != 3 {
+		t.Fatalf("completed %v, want all 3", qc.Completed)
+	}
+	// EDF order: the early-deadline job finishes first.
+	if qc.Completed[0] != "early" {
+		t.Errorf("first completion %q, want \"early\"", qc.Completed[0])
+	}
+	if qc.FinishTimes["early"] > 20e-3 {
+		t.Errorf("early finished at %.3g s, after its deadline", qc.FinishTimes["early"])
+	}
+	if qc.FinishTimes["released-later"] < 25e-3 {
+		t.Error("job ran before its release time")
+	}
+	if qc.Remaining() != 0 {
+		t.Errorf("remaining = %d", qc.Remaining())
+	}
+}
+
+func TestQueueDropsImpossibleJobAndRecovers(t *testing.T) {
+	// The first job needs more than the core's peak rate: it must miss;
+	// the second, feasible job must still complete.
+	qc := &QueueController{
+		Jobs: []QueueJob{
+			{Name: "impossible", Cycles: 1e9, Release: 0, Deadline: 10e-3},
+			{Name: "feasible", Cycles: 2e6, Release: 0, Deadline: 40e-3},
+		},
+	}
+	runQueue(t, qc, circuit.ConstantIrradiance(1.0), 1.09, 60e-3)
+	if len(qc.Missed) != 1 || qc.Missed[0] != "impossible" {
+		t.Fatalf("missed %v, want exactly the impossible job", qc.Missed)
+	}
+	if len(qc.Completed) != 1 || qc.Completed[0] != "feasible" {
+		t.Fatalf("completed %v, want the feasible job", qc.Completed)
+	}
+}
+
+func TestQueueIdleBetweenReleasesBanksEnergy(t *testing.T) {
+	// One job released late: the node banks charge while idle, so the
+	// final voltage before release should rise from the start.
+	qc := &QueueController{
+		Jobs: []QueueJob{{Name: "only", Cycles: 2e6, Release: 30e-3, Deadline: 60e-3}},
+	}
+	storage, err := cap.New(100e-6, 0.8, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := circuit.New(circuit.Config{
+		Cell:       pv.NewCell(),
+		Proc:       cpu.NewProcessor(),
+		Reg:        reg.NewSC(),
+		Cap:        storage,
+		Irradiance: circuit.ConstantIrradiance(1.0),
+		Controller: qc,
+		Step:       4e-6,
+		MaxTime:    70e-3,
+		TraceEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qc.Completed) != 1 {
+		t.Fatalf("completed %v", qc.Completed)
+	}
+	// Node voltage at 25 ms (pre-release) must exceed the 0.8 V start.
+	var v25 float64
+	for _, smp := range out.Trace.Samples {
+		if smp.Time >= 25e-3 {
+			v25 = smp.CapVoltage
+			break
+		}
+	}
+	if v25 <= 0.85 {
+		t.Errorf("idle node at %.3f V, expected banked charge above 0.85 V", v25)
+	}
+}
+
+func TestAdmissionCheckAgreesWithSimulation(t *testing.T) {
+	proc := cpu.NewProcessor()
+	cell := pv.NewCell()
+	_, pmpp := cell.MPP(1.0)
+	harvestLoad := 0.65 * pmpp // converter-side estimate
+
+	feasible := []QueueJob{
+		{Name: "a", Cycles: 2e6, Deadline: 20e-3},
+		{Name: "b", Cycles: 2e6, Deadline: 45e-3},
+	}
+	if missed := AdmissionCheck(feasible, harvestLoad, 20e-6, proc); len(missed) != 0 {
+		t.Errorf("admission rejected a feasible set: %v", missed)
+	}
+	qc := &QueueController{Jobs: feasible}
+	runQueue(t, qc, circuit.ConstantIrradiance(1.0), 1.09, 60e-3)
+	if len(qc.Missed) != 0 {
+		t.Errorf("simulation missed %v for an admitted set", qc.Missed)
+	}
+
+	overload := []QueueJob{
+		{Name: "x", Cycles: 1e9, Deadline: 10e-3},
+	}
+	if missed := AdmissionCheck(overload, harvestLoad, 20e-6, proc); len(missed) != 1 {
+		t.Errorf("admission accepted an impossible job: %v", missed)
+	}
+	// Energy-infeasible (rate fine, power starved): tiny harvest.
+	starved := []QueueJob{{Name: "s", Cycles: 5e6, Deadline: 50e-3}}
+	if missed := AdmissionCheck(starved, 10e-6, 0, proc); len(missed) != 1 {
+		t.Errorf("admission accepted an energy-starved job: %v", missed)
+	}
+	// Deadline already passed at release.
+	stale := []QueueJob{{Name: "z", Cycles: 1e5, Release: 20e-3, Deadline: 10e-3}}
+	if missed := AdmissionCheck(stale, harvestLoad, 0, proc); len(missed) != 1 {
+		t.Errorf("admission accepted a stale job: %v", missed)
+	}
+}
+
+// Property: across random workloads, every job ends in exactly one of
+// Completed or Missed; completed jobs finish by their deadlines.
+func TestQuickQueuePartition(t *testing.T) {
+	mk := func(seedJobs []uint8) *QueueController {
+		jobs := make([]QueueJob, 0, 3)
+		for i := 0; i < len(seedJobs) && i < 3; i++ {
+			cycles := 0.5e6 + float64(seedJobs[i])*30e3 // 0.5-8.2 M
+			jobs = append(jobs, QueueJob{
+				Name:     fmt.Sprintf("j%d", i),
+				Cycles:   cycles,
+				Deadline: 10e-3 + float64(i)*15e-3,
+			})
+		}
+		return &QueueController{Jobs: jobs}
+	}
+	f := func(seedJobs []uint8) bool {
+		if len(seedJobs) == 0 {
+			return true
+		}
+		qc := mk(seedJobs)
+		n := len(qc.Jobs)
+		runQueue(t, qc, circuit.ConstantIrradiance(1.0), 1.09, 60e-3)
+		if len(qc.Completed)+len(qc.Missed)+qc.Remaining() != n {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, name := range append(append([]string{}, qc.Completed...), qc.Missed...) {
+			if seen[name] {
+				return false // double-counted
+			}
+			seen[name] = true
+		}
+		// Completion is detected at the end of the step in which the last
+		// cycle ran, so allow a two-step boundary tolerance.
+		const stepTol = 2 * 4e-6
+		for name, ft := range qc.FinishTimes {
+			for _, job := range qc.Jobs {
+				if job.Name == name && ft > job.Deadline+stepTol {
+					return false // completed after its deadline
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

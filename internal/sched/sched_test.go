@@ -1,0 +1,310 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/pv"
+	"repro/internal/reg"
+)
+
+func TestPlanDeadlineBasics(t *testing.T) {
+	proc := cpu.NewProcessor()
+	plan, err := PlanDeadline(proc, 6e6, 20e-3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Frequency-3e8) > 1 {
+		t.Errorf("frequency = %g, want 300 MHz", plan.Frequency)
+	}
+	if proc.MaxFrequency(plan.Supply) < plan.Frequency-1e3 {
+		t.Errorf("supply %.3f V does not sustain %g Hz", plan.Supply, plan.Frequency)
+	}
+	if plan.SourceEnergy <= plan.LoadEnergy {
+		t.Error("source energy must exceed load energy through a lossy converter")
+	}
+	if math.Abs(plan.SourceEnergy-plan.LoadEnergy/0.7)/plan.SourceEnergy > 1e-12 {
+		t.Error("source energy != load energy / eta")
+	}
+	// Load energy decomposes into dynamic + leakage * T.
+	want := 6e6*proc.DynamicEnergyPerCycle(plan.Supply) + proc.LeakagePower(plan.Supply)*20e-3
+	if math.Abs(plan.LoadEnergy-want) > 1e-12 {
+		t.Error("load energy decomposition mismatch")
+	}
+}
+
+func TestPlanDeadlineErrors(t *testing.T) {
+	proc := cpu.NewProcessor()
+	if _, err := PlanDeadline(proc, 1e12, 1e-3, 0.7); !errors.Is(err, ErrDeadlineTooTight) {
+		t.Errorf("impossible deadline: %v", err)
+	}
+	if _, err := PlanDeadline(proc, 0, 1e-3, 0.7); !errors.Is(err, ErrDeadlineTooTight) {
+		t.Errorf("zero cycles: %v", err)
+	}
+	if _, err := PlanDeadline(proc, 1e6, 0, 0.7); !errors.Is(err, ErrDeadlineTooTight) {
+		t.Errorf("zero deadline: %v", err)
+	}
+	if _, err := PlanDeadline(proc, 1e6, 1e-2, 0); err == nil {
+		t.Error("zero efficiency accepted")
+	}
+	if _, err := PlanDeadline(proc, 1e6, 1e-2, 1.2); err == nil {
+		t.Error("super-unity efficiency accepted")
+	}
+}
+
+func TestRequiredEnergyFallsWithDeadline(t *testing.T) {
+	// A longer deadline allows a lower voltage: less dynamic energy, and the
+	// leakage term grows slower than the dynamic term shrinks in the
+	// super-MEP region.
+	proc := cpu.NewProcessor()
+	e20, err := PlanDeadline(proc, 6e6, 20e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e10, err := PlanDeadline(proc, 6e6, 10e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e10.LoadEnergy <= e20.LoadEnergy {
+		t.Errorf("tighter deadline should cost more: %g vs %g", e10.LoadEnergy, e20.LoadEnergy)
+	}
+}
+
+func TestEnergySupplyAvailable(t *testing.T) {
+	es := EnergySupply{HarvestPower: 5e-3, CapacitorDrop: 2e-3, ConverterEta: 0.8}
+	if got, want := es.Available(1.0), (5e-3+2e-3)*0.8; math.Abs(got-want) > 1e-15 {
+		t.Errorf("available = %g, want %g", got, want)
+	}
+	if got := (EnergySupply{HarvestPower: -1, ConverterEta: 1}).Available(1); got != 0 {
+		t.Errorf("negative raw energy should clamp: %g", got)
+	}
+}
+
+func TestCompletionCurveShape(t *testing.T) {
+	proc := cpu.NewProcessor()
+	supply := EnergySupply{HarvestPower: 10e-3, CapacitorDrop: 50e-6, ConverterEta: 0.7}
+	pts := CompletionCurve(proc, supply, 6e6, 5e-3, 60e-3, 80)
+	if len(pts) != 80 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Available < pts[i-1].Available {
+			t.Fatal("available energy must grow with the deadline")
+		}
+	}
+	// Required energy is U-shaped in the deadline: dynamic energy falls as
+	// the voltage drops, until leakage*T takes over past the MEP. Assert
+	// unimodality: once it starts rising it never falls again.
+	rising := false
+	for i := 1; i < len(pts); i++ {
+		if math.IsInf(pts[i].Required, 0) || math.IsInf(pts[i-1].Required, 0) {
+			continue
+		}
+		switch {
+		case pts[i].Required > pts[i-1].Required+1e-15:
+			rising = true
+		case rising && pts[i].Required < pts[i-1].Required-1e-15:
+			t.Fatal("required energy not unimodal in the deadline")
+		}
+	}
+	// Feasibility must be monotone: once feasible, stays feasible.
+	seen := false
+	for _, p := range pts {
+		if p.Feasible {
+			seen = true
+		} else if seen {
+			t.Fatal("feasibility not monotone in deadline")
+		}
+	}
+	if CompletionCurve(proc, supply, 6e6, 5e-3, 60e-3, 1) != nil {
+		t.Error("n<2 should return nil")
+	}
+}
+
+func TestFastestCompletionIsBoundary(t *testing.T) {
+	proc := cpu.NewProcessor()
+	supply := EnergySupply{HarvestPower: 10e-3, CapacitorDrop: 50e-6, ConverterEta: 0.7}
+	tstar, err := FastestCompletion(proc, supply, 6e6, 5e-3, 60e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(deadline float64) bool {
+		plan, err := PlanDeadline(proc, 6e6, deadline, 1)
+		if err != nil {
+			return false
+		}
+		return supply.Available(deadline) >= plan.LoadEnergy
+	}
+	if !check(tstar * 1.001) {
+		t.Error("just above the solution should be feasible")
+	}
+	if check(tstar * 0.99) {
+		t.Error("1% below the solution should be infeasible")
+	}
+	// Infeasible range errors.
+	tiny := EnergySupply{HarvestPower: 1e-6, ConverterEta: 0.7}
+	if _, err := FastestCompletion(proc, tiny, 6e6, 5e-3, 60e-3); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("starved supply: %v", err)
+	}
+	// Trivially feasible returns the lower bound.
+	huge := EnergySupply{HarvestPower: 10, ConverterEta: 1}
+	got, err := FastestCompletion(proc, huge, 1e3, 5e-3, 60e-3)
+	if err != nil || got != 5e-3 {
+		t.Errorf("trivial case: %g, %v", got, err)
+	}
+}
+
+func TestNewSprintPlan(t *testing.T) {
+	proc := cpu.NewProcessor()
+	plan, err := NewSprintPlan(proc, 6e6, 20e-3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.SlowFrequency-0.8*plan.BaseFrequency) > 1 ||
+		math.Abs(plan.FastFrequency-1.2*plan.BaseFrequency) > 1 {
+		t.Error("sprint frequencies wrong")
+	}
+	if plan.FastSupply <= plan.SlowSupply {
+		t.Error("fast phase must need a higher supply")
+	}
+	// Total cycles preserved: slow*T/2 + fast*T/2 == N.
+	total := (plan.SlowFrequency + plan.FastFrequency) * plan.Deadline / 2
+	if math.Abs(total-plan.Cycles)/plan.Cycles > 1e-12 {
+		t.Errorf("cycles not preserved: %g vs %g", total, plan.Cycles)
+	}
+	if _, err := NewSprintPlan(proc, 6e6, 20e-3, -0.1); !errors.Is(err, ErrBadSprintFactor) {
+		t.Errorf("negative factor: %v", err)
+	}
+	if _, err := NewSprintPlan(proc, 6e6, 20e-3, 1.0); !errors.Is(err, ErrBadSprintFactor) {
+		t.Errorf("unit factor: %v", err)
+	}
+	// A fast phase beyond the core's ceiling errors.
+	if _, err := NewSprintPlan(proc, 3e7*20e-3*1e3, 20e-3, 0.9); err == nil {
+		t.Error("impossible sprint accepted")
+	}
+}
+
+// Property: the sprint plan's cycle count is invariant in the factor.
+func TestQuickSprintCyclesInvariant(t *testing.T) {
+	proc := cpu.NewProcessor()
+	f := func(sRaw uint16) bool {
+		s := float64(sRaw) / 65536 * 0.9
+		plan, err := NewSprintPlan(proc, 5e6, 25e-3, s)
+		if err != nil {
+			return true // phases outside the voltage range are legitimately rejected
+		}
+		total := (plan.SlowFrequency + plan.FastFrequency) * plan.Deadline / 2
+		return math.Abs(total-plan.Cycles)/plan.Cycles < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtraSolarEnergyPositiveBelowMPP(t *testing.T) {
+	proc := cpu.NewProcessor()
+	cell := pv.NewCell()
+	plan, err := NewSprintPlan(proc, 6e6, 20e-3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the MPP the P-V slope is positive: sprinting buys energy.
+	extra := plan.ExtraSolarEnergy(cell, 1.0, 0.8, 8e-3, 100e-6)
+	if extra <= 0 {
+		t.Errorf("extra solar energy below MPP = %g, want > 0", extra)
+	}
+	// Above the MPP the slope is negative: the estimate clamps at zero.
+	if got := plan.ExtraSolarEnergy(cell, 1.0, 1.3, 8e-3, 100e-6); got != 0 {
+		t.Errorf("above MPP = %g, want 0", got)
+	}
+	// Degenerate inputs.
+	if plan.ExtraSolarEnergy(cell, 1.0, 0.8, 8e-3, 0) != 0 {
+		t.Error("zero capacitance should clamp")
+	}
+	// A larger factor buys more.
+	plan2, err := NewSprintPlan(proc, 6e6, 20e-3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.ExtraSolarEnergy(cell, 1.0, 0.8, 8e-3, 100e-6) <= extra {
+		t.Error("more sprint should buy more energy below the MPP")
+	}
+}
+
+func TestPlanDutyCycleBalance(t *testing.T) {
+	proc := cpu.NewProcessor()
+	plan, err := PlanDutyCycle(proc, 0.5, 0.65, 4e-3, 50e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DutyCycle <= 0 || plan.DutyCycle > 1 {
+		t.Fatalf("duty cycle %g out of range", plan.DutyCycle)
+	}
+	// Energy neutrality: D*active + (1-D)*sleep == harvest.
+	avg := plan.DutyCycle*plan.ActivePower + (1-plan.DutyCycle)*plan.SleepPower
+	if math.Abs(avg-4e-3)/4e-3 > 1e-9 {
+		t.Errorf("average draw %.4g != harvest 4 mW", avg)
+	}
+	if plan.AverageThrough != plan.DutyCycle*plan.ActiveFreq {
+		t.Error("throughput inconsistent")
+	}
+	// Abundant harvest: run continuously.
+	rich, err := PlanDutyCycle(proc, 0.5, 0.65, 1.0, 50e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rich.DutyCycle != 1 {
+		t.Errorf("rich harvest duty cycle %g, want 1", rich.DutyCycle)
+	}
+	// Starved: error.
+	if _, err := PlanDutyCycle(proc, 0.5, 0.65, 10e-6, 50e-6); !errors.Is(err, ErrNeverSustainable) {
+		t.Errorf("starved: %v", err)
+	}
+	if _, err := PlanDutyCycle(proc, 0.5, 0, 4e-3, 0); err == nil {
+		t.Error("zero efficiency accepted")
+	}
+}
+
+func TestBestDutyCyclePoint(t *testing.T) {
+	proc := cpu.NewProcessor()
+	sc := reg.NewSC()
+	const vin = 1.05
+	etaAt := func(supply, load float64) float64 {
+		return sc.Efficiency(vin, supply, load)
+	}
+	best, err := BestDutyCyclePoint(proc, 3e-3, 50e-6, etaAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.DutyCycle <= 0 || best.DutyCycle > 1 {
+		t.Fatalf("duty cycle %g", best.DutyCycle)
+	}
+	// The optimum beats a grid of alternatives.
+	for v := proc.MinVoltage(); v <= proc.MaxVoltage(); v += 0.002 {
+		eta := etaAt(v, proc.MaxPower(v))
+		if eta <= 0 {
+			continue
+		}
+		plan, err := PlanDutyCycle(proc, v, eta, 3e-3, 50e-6)
+		if err != nil {
+			continue
+		}
+		// The search grid is coarser (5 mV) than this check grid (2 mV), so
+		// allow a 1% slack.
+		if plan.AverageThrough > best.AverageThrough*1.01 {
+			t.Fatalf("grid point %.3f V sustains %.4g Hz > optimum %.4g Hz",
+				v, plan.AverageThrough, best.AverageThrough)
+		}
+	}
+	// The best sustained point should sit near the holistic sweet spot
+	// (around the SC's efficient 0.5-0.6 V window), not at either extreme.
+	if best.ActiveSupply < 0.40 || best.ActiveSupply > 0.70 {
+		t.Errorf("best supply %.3f V outside the expected 0.40-0.70 V window", best.ActiveSupply)
+	}
+	if _, err := BestDutyCyclePoint(proc, 1e-6, 50e-6, etaAt); !errors.Is(err, ErrNeverSustainable) {
+		t.Errorf("starved: %v", err)
+	}
+}

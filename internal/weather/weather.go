@@ -1,0 +1,231 @@
+// Package weather synthesises realistic irradiance traces for long-horizon
+// harvesting experiments: a deterministic clear-sky daylight envelope
+// modulated by a stochastic cloud process. The paper evaluates under a few
+// static light levels plus hand-made dimming events; this package provides
+// the statistically plausible environment a deployed battery-less node
+// actually sees, so policies can be compared over hours of varying light.
+//
+// The cloud model is the standard two-layer construction:
+//
+//   - a two-state Markov chain (clear <-> cloudy) with exponentially
+//     distributed dwell times, giving realistic burst structure;
+//   - within cloudy periods, an Ornstein-Uhlenbeck process modulates the
+//     attenuation so cloud edges and density fluctuate smoothly.
+//
+// All randomness flows through an injected *rand.Rand, so traces are
+// reproducible from a seed.
+package weather
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Errors returned by this package.
+var (
+	// ErrBadTrace indicates invalid duration or step for a trace.
+	ErrBadTrace = errors.New("weather: duration and step must be positive")
+)
+
+// Generator produces irradiance traces. Construct with NewGenerator.
+type Generator struct {
+	rng *rand.Rand
+
+	meanClearDwell  float64 // mean clear-sky dwell (s)
+	meanCloudyDwell float64 // mean cloudy dwell (s)
+	cloudAttenMean  float64 // mean attenuation while cloudy (fraction kept)
+	cloudAttenSigma float64 // OU stationary std of the attenuation
+	ouTau           float64 // OU relaxation time (s)
+}
+
+// Option configures a Generator.
+type Option func(*Generator)
+
+// WithDwellTimes sets the mean clear and cloudy dwell times (s).
+func WithDwellTimes(clear, cloudy float64) Option {
+	return func(g *Generator) {
+		g.meanClearDwell = clear
+		g.meanCloudyDwell = cloudy
+	}
+}
+
+// WithCloudAttenuation sets the mean fraction of light kept under cloud and
+// its fluctuation (stationary standard deviation).
+func WithCloudAttenuation(mean, sigma float64) Option {
+	return func(g *Generator) {
+		g.cloudAttenMean = mean
+		g.cloudAttenSigma = sigma
+	}
+}
+
+// WithRelaxationTime sets the Ornstein-Uhlenbeck relaxation time (s) of the
+// in-cloud attenuation fluctuations.
+func WithRelaxationTime(tau float64) Option {
+	return func(g *Generator) { g.ouTau = tau }
+}
+
+// NewGenerator returns a cloud generator with temperate-sky defaults:
+// ~40 s clear spells, ~20 s clouds keeping ~35% of the light, fluctuating
+// on a ~5 s timescale. rng must not be nil.
+func NewGenerator(rng *rand.Rand, opts ...Option) *Generator {
+	g := &Generator{
+		rng:             rng,
+		meanClearDwell:  40,
+		meanCloudyDwell: 20,
+		cloudAttenMean:  0.35,
+		cloudAttenSigma: 0.10,
+		ouTau:           5,
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
+}
+
+// Trace is a precomputed irradiance time series. The zero value is not
+// useful; build with Generator.Trace.
+type Trace struct {
+	Step    float64   // sample spacing (s)
+	Samples []float64 // irradiance fraction per sample
+}
+
+// At returns the irradiance at time t with linear interpolation, clamping
+// outside the trace. The method value (tr.At) plugs directly into
+// circuit.Config.Irradiance.
+func (tr *Trace) At(t float64) float64 {
+	n := len(tr.Samples)
+	if n == 0 {
+		return 0
+	}
+	pos := t / tr.Step
+	switch {
+	case pos <= 0:
+		return tr.Samples[0]
+	case pos >= float64(n-1):
+		return tr.Samples[n-1]
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	return tr.Samples[i]*(1-frac) + tr.Samples[i+1]*frac
+}
+
+// Duration returns the trace length (s).
+func (tr *Trace) Duration() float64 {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	return float64(len(tr.Samples)-1) * tr.Step
+}
+
+// Stats returns the trace's min, mean and max irradiance.
+func (tr *Trace) Stats() (minV, mean, maxV float64) {
+	if len(tr.Samples) == 0 {
+		return 0, 0, 0
+	}
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, s := range tr.Samples {
+		minV = math.Min(minV, s)
+		maxV = math.Max(maxV, s)
+		sum += s
+	}
+	return minV, sum / float64(len(tr.Samples)), maxV
+}
+
+// CloudFraction returns the fraction of samples attenuated below the given
+// fraction of the concurrent clear-sky envelope.
+func CloudFraction(cloudy, clear *Trace, threshold float64) float64 {
+	if len(cloudy.Samples) == 0 || len(cloudy.Samples) != len(clear.Samples) {
+		return 0
+	}
+	n := 0
+	for i, s := range cloudy.Samples {
+		if env := clear.Samples[i]; env > 0 && s < threshold*env {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cloudy.Samples))
+}
+
+// ClearSky returns the deterministic daylight envelope trace: zero before
+// sunrise and after sunset, a half-sine peaking at `peak` in between.
+func ClearSky(duration, step, sunrise, sunset, peak float64) (*Trace, error) {
+	if duration <= 0 || step <= 0 {
+		return nil, fmt.Errorf("%w: duration=%g step=%g", ErrBadTrace, duration, step)
+	}
+	n := int(duration/step) + 1
+	tr := &Trace{Step: step, Samples: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		t := float64(i) * step
+		if t <= sunrise || t >= sunset || sunset <= sunrise {
+			continue
+		}
+		phase := (t - sunrise) / (sunset - sunrise)
+		tr.Samples[i] = peak * math.Sin(math.Pi*phase)
+	}
+	return tr, nil
+}
+
+// Trace renders a stochastic irradiance trace of the given duration and
+// sample step under the given clear-sky envelope. If envelope is nil a
+// constant envelope of 1.0 (bench light) is used.
+func (g *Generator) Trace(duration, step float64, envelope *Trace) (*Trace, error) {
+	if duration <= 0 || step <= 0 {
+		return nil, fmt.Errorf("%w: duration=%g step=%g", ErrBadTrace, duration, step)
+	}
+	n := int(duration/step) + 1
+	tr := &Trace{Step: step, Samples: make([]float64, n)}
+
+	cloudy := g.rng.Float64() < g.meanCloudyDwell/(g.meanClearDwell+g.meanCloudyDwell)
+	dwell := g.nextDwell(cloudy)
+	atten := g.cloudAttenMean // OU state, meaningful while cloudy
+
+	for i := 0; i < n; i++ {
+		t := float64(i) * step
+		env := 1.0
+		if envelope != nil {
+			env = envelope.At(t)
+		}
+		// Advance the Markov chain.
+		dwell -= step
+		if dwell <= 0 {
+			cloudy = !cloudy
+			dwell = g.nextDwell(cloudy)
+			if cloudy {
+				atten = g.clampAtten(g.cloudAttenMean + g.cloudAttenSigma*g.rng.NormFloat64())
+			}
+		}
+		level := env
+		if cloudy {
+			// Exact OU update over one step.
+			decay := math.Exp(-step / g.ouTau)
+			noise := g.cloudAttenSigma * math.Sqrt(1-decay*decay) * g.rng.NormFloat64()
+			atten = g.clampAtten(g.cloudAttenMean + (atten-g.cloudAttenMean)*decay + noise)
+			level = env * atten
+		}
+		tr.Samples[i] = level
+	}
+	return tr, nil
+}
+
+// nextDwell draws an exponential dwell time for the given state.
+func (g *Generator) nextDwell(cloudy bool) float64 {
+	mean := g.meanClearDwell
+	if cloudy {
+		mean = g.meanCloudyDwell
+	}
+	return g.rng.ExpFloat64() * mean
+}
+
+// clampAtten keeps the attenuation physical.
+func (g *Generator) clampAtten(a float64) float64 {
+	if a < 0.02 {
+		return 0.02
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}

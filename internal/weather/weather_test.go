@@ -1,0 +1,192 @@
+package weather
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClearSkyEnvelope(t *testing.T) {
+	tr, err := ClearSky(10, 0.01, 2, 8, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(1) != 0 || tr.At(9) != 0 {
+		t.Error("night should be dark")
+	}
+	if got := tr.At(5); math.Abs(got-0.9) > 1e-3 {
+		t.Errorf("noon = %g, want ~0.9", got)
+	}
+	// Symmetric around noon.
+	if math.Abs(tr.At(3.5)-tr.At(6.5)) > 1e-3 {
+		t.Error("envelope not symmetric")
+	}
+	if _, err := ClearSky(0, 0.01, 2, 8, 1); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("zero duration: %v", err)
+	}
+}
+
+func TestTraceDeterministicBySeed(t *testing.T) {
+	a, err := NewGenerator(rand.New(rand.NewSource(11))).Trace(60, 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(rand.New(rand.NewSource(11))).Trace(60, 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	c, err := NewGenerator(rand.New(rand.NewSource(12))).Trace(60, 0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestTraceBounds(t *testing.T) {
+	env, err := ClearSky(120, 0.05, 10, 110, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewGenerator(rand.New(rand.NewSource(3))).Trace(120, 0.05, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range tr.Samples {
+		if s < 0 || s > env.Samples[i]+1e-12 {
+			t.Fatalf("sample %d = %g exceeds envelope %g", i, s, env.Samples[i])
+		}
+	}
+	minV, mean, maxV := tr.Stats()
+	if minV < 0 || maxV > 1 || mean <= 0 {
+		t.Errorf("stats out of range: min=%g mean=%g max=%g", minV, mean, maxV)
+	}
+}
+
+func TestCloudFractionTracksDwellTimes(t *testing.T) {
+	// Equal dwell times: ~50% of samples attenuated. Long run for stability.
+	g := NewGenerator(rand.New(rand.NewSource(7)),
+		WithDwellTimes(20, 20),
+		WithCloudAttenuation(0.3, 0.05),
+	)
+	tr, err := g.Trace(4000, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := &Trace{Step: tr.Step, Samples: make([]float64, len(tr.Samples))}
+	for i := range flat.Samples {
+		flat.Samples[i] = 1
+	}
+	frac := CloudFraction(tr, flat, 0.9)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("cloud fraction %.2f, want ~0.5 for equal dwell times", frac)
+	}
+	// Mostly-clear configuration.
+	g2 := NewGenerator(rand.New(rand.NewSource(7)), WithDwellTimes(90, 10))
+	tr2, err := g2.Trace(4000, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac2 := CloudFraction(tr2, flat, 0.9)
+	if frac2 >= frac {
+		t.Errorf("mostly-clear fraction %.2f not below balanced %.2f", frac2, frac)
+	}
+}
+
+func TestAtInterpolatesAndClamps(t *testing.T) {
+	tr := &Trace{Step: 1, Samples: []float64{0, 1, 0.5}}
+	if tr.At(-5) != 0 || tr.At(100) != 0.5 {
+		t.Error("clamping wrong")
+	}
+	if got := tr.At(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("interp = %g, want 0.5", got)
+	}
+	if got := tr.At(1.5); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("interp = %g, want 0.75", got)
+	}
+	if tr.Duration() != 2 {
+		t.Errorf("duration = %g", tr.Duration())
+	}
+	empty := &Trace{Step: 1}
+	if empty.At(0) != 0 || empty.Duration() != 0 {
+		t.Error("empty trace should be dark")
+	}
+}
+
+func TestOUAttenuationStaysSmooth(t *testing.T) {
+	// Attenuation under a permanently cloudy sky should fluctuate with a
+	// bounded step-to-step change and hover around the configured mean.
+	g := NewGenerator(rand.New(rand.NewSource(5)),
+		WithDwellTimes(0.001, 1e9), // effectively always cloudy
+		WithCloudAttenuation(0.4, 0.08),
+		WithRelaxationTime(5),
+	)
+	tr, err := g.Trace(600, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mean, _ := tr.Stats()
+	if mean < 0.3 || mean > 0.5 {
+		t.Errorf("cloudy mean %.3f, want ~0.4", mean)
+	}
+	for i := 1; i < len(tr.Samples); i++ {
+		if d := math.Abs(tr.Samples[i] - tr.Samples[i-1]); d > 0.15 {
+			t.Fatalf("attenuation jumped %.3f in one step", d)
+		}
+	}
+}
+
+// Property: traces never leave [0, 1] for any seed and dwell configuration.
+func TestQuickTraceBounds(t *testing.T) {
+	f := func(seed int64, clearRaw, cloudyRaw uint8) bool {
+		g := NewGenerator(rand.New(rand.NewSource(seed)),
+			WithDwellTimes(1+float64(clearRaw), 1+float64(cloudyRaw)))
+		tr, err := g.Trace(50, 0.1, nil)
+		if err != nil {
+			return false
+		}
+		for _, s := range tr.Samples {
+			if s < 0 || s > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(1)))
+	if _, err := g.Trace(0, 0.1, nil); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("zero duration: %v", err)
+	}
+	if _, err := g.Trace(10, 0, nil); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("zero step: %v", err)
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	g := NewGenerator(rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Trace(600, 0.01, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
