@@ -390,8 +390,8 @@ func TestBenchmarkHarnessSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("transient experiments are slow")
 	}
-	for name, run := range expt.Registry() {
-		if err := run(io.Discard); err != nil {
+	for name, e := range expt.Registry() {
+		if err := e.Run(io.Discard); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}

@@ -3,10 +3,15 @@
 // chosen energy-management policy. It is the flag-driven version of the
 // sensornode example, for exploring scenarios without editing code.
 //
+// With -campaigns N > 1 it fans N campaigns (seed, seed+1, ...) out over a
+// worker pool (-j) and prints their reports in seed order; the output is
+// deterministic and independent of the worker count.
+//
 // Usage:
 //
 //	hemnode [-duration 6] [-seed 7] [-policy tracked|fixed|mep]
 //	        [-cloudiness 0.4] [-cap 100e-6] [-csv trace.csv]
+//	        [-campaigns 1] [-j N]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"repro/internal/cap"
 	"repro/internal/circuit"
@@ -24,6 +30,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/pv"
 	"repro/internal/reg"
+	"repro/internal/runner"
 	"repro/internal/weather"
 )
 
@@ -32,6 +39,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hemnode: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// campaignConfig carries the validated flags of one campaign.
+type campaignConfig struct {
+	duration   float64
+	seed       int64
+	policy     string
+	cloudiness float64
+	capacity   float64
+	csvPath    string
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -43,6 +60,8 @@ func run(args []string, stdout io.Writer) error {
 		cloudiness = fs.Float64("cloudiness", 0.4, "fraction of time under cloud (0..0.9)")
 		capacity   = fs.Float64("cap", 100e-6, "storage capacitance (farads)")
 		csvPath    = fs.String("csv", "", "write the irradiance trace to this CSV file")
+		campaigns  = fs.Int("campaigns", 1, "number of campaigns to fan out (seeds seed..seed+N-1)")
+		jobs       = fs.Int("j", runtime.NumCPU(), "campaigns to run in parallel")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,42 +72,90 @@ func run(args []string, stdout io.Writer) error {
 	if *cloudiness < 0 || *cloudiness > 0.9 {
 		return fmt.Errorf("cloudiness %g out of [0, 0.9]", *cloudiness)
 	}
+	if *campaigns < 1 {
+		return fmt.Errorf("campaigns must be >= 1")
+	}
+	if *campaigns > 1 && *csvPath != "" {
+		return fmt.Errorf("-csv supports a single campaign (run fan-outs without it)")
+	}
 
+	cfg := campaignConfig{
+		duration:   *duration,
+		seed:       *seed,
+		policy:     *policy,
+		cloudiness: *cloudiness,
+		capacity:   *capacity,
+		csvPath:    *csvPath,
+	}
+	if *campaigns == 1 {
+		return campaign(cfg, stdout)
+	}
+
+	var work []runner.Job
+	for i := 0; i < *campaigns; i++ {
+		c := cfg
+		c.seed = cfg.seed + int64(i)
+		work = append(work, runner.Job{
+			ID: fmt.Sprintf("seed=%d", c.seed),
+			Run: func(w io.Writer) error {
+				fmt.Fprintf(w, "== campaign seed=%d ==\n", c.seed)
+				return campaign(c, w)
+			},
+		})
+	}
+	first := true
+	return runner.Stream(work, *jobs, func(r runner.Result) error {
+		if !first {
+			fmt.Fprintln(stdout)
+		}
+		first = false
+		if _, err := stdout.Write(r.Output); err != nil {
+			return err
+		}
+		if r.Err != nil {
+			return fmt.Errorf("campaign %s: %w", r.ID, r.Err)
+		}
+		return nil
+	})
+}
+
+// campaign runs one weather-driven campaign and writes its report.
+func campaign(cfg campaignConfig, stdout io.Writer) error {
 	// Weather: dwell times chosen so the cloudy fraction matches the flag.
-	clearDwell := 2.0 * (1 - *cloudiness)
-	cloudyDwell := 2.0 * *cloudiness
+	clearDwell := 2.0 * (1 - cfg.cloudiness)
+	cloudyDwell := 2.0 * cfg.cloudiness
 	if cloudyDwell == 0 {
 		cloudyDwell = 1e-9
 	}
-	gen := weather.NewGenerator(rand.New(rand.NewSource(*seed)),
+	gen := weather.NewGenerator(rand.New(rand.NewSource(cfg.seed)),
 		weather.WithDwellTimes(clearDwell, cloudyDwell),
 		weather.WithCloudAttenuation(0.2, 0.07),
 		weather.WithRelaxationTime(0.3),
 	)
-	trace, err := gen.Trace(*duration, 0.005, nil)
+	trace, err := gen.Trace(cfg.duration, 0.005, nil)
 	if err != nil {
 		return fmt.Errorf("weather: %w", err)
 	}
 	minIrr, meanIrr, maxIrr := trace.Stats()
 	fmt.Fprintf(stdout, "weather: %.1f s, light min/mean/max = %.0f%%/%.0f%%/%.0f%%\n",
-		*duration, minIrr*100, meanIrr*100, maxIrr*100)
-	if *csvPath != "" {
-		if err := writeTraceCSV(*csvPath, trace); err != nil {
+		cfg.duration, minIrr*100, meanIrr*100, maxIrr*100)
+	if cfg.csvPath != "" {
+		if err := writeTraceCSV(cfg.csvPath, trace); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "trace written to %s\n", *csvPath)
+		fmt.Fprintf(stdout, "trace written to %s\n", cfg.csvPath)
 	}
 
 	cell := pv.NewCell()
 	proc := cpu.NewProcessor()
 	sc := reg.NewSC()
-	storage, err := cap.New(*capacity, 1.0, 2.0)
+	storage, err := cap.New(cfg.capacity, 1.0, 2.0)
 	if err != nil {
 		return fmt.Errorf("capacitor: %w", err)
 	}
 
 	var cycles, harvested float64
-	switch *policy {
+	switch cfg.policy {
 	case "tracked":
 		mgr := core.NewManager(core.NewSystem(cell, proc), sc)
 		res, err := mgr.RunTracked(core.TrackedRunConfig{
@@ -97,7 +164,7 @@ func run(args []string, stdout io.Writer) error {
 			Levels:     []float64{0.02, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0},
 			V1:         0.95,
 			V2:         0.85,
-			Duration:   *duration,
+			Duration:   cfg.duration,
 			Step:       20e-6,
 		})
 		if err != nil {
@@ -107,7 +174,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "tracker: %d estimates, %d retargets\n", len(res.Estimates), res.Retargets)
 	case "fixed", "mep":
 		supply := 0.55
-		if *policy == "mep" {
+		if cfg.policy == "mep" {
 			supply, _ = proc.ConventionalMEP()
 		}
 		sim, err := circuit.New(circuit.Config{
@@ -118,7 +185,7 @@ func run(args []string, stdout io.Writer) error {
 			Irradiance: trace.At,
 			Controller: &circuit.FixedPoint{Supply: supply},
 			Step:       20e-6,
-			MaxTime:    *duration,
+			MaxTime:    cfg.duration,
 		})
 		if err != nil {
 			return fmt.Errorf("assemble: %w", err)
@@ -129,12 +196,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		cycles, harvested = out.CyclesDone, out.EnergyHarvested
 	default:
-		return fmt.Errorf("unknown policy %q (want tracked, fixed, or mep)", *policy)
+		return fmt.Errorf("unknown policy %q (want tracked, fixed, or mep)", cfg.policy)
 	}
 
 	frame := float64(imgproc.DefaultCostModel().FrameCycles(64, 64, 512, imgproc.NumClasses))
 	fmt.Fprintf(stdout, "policy %q: %.2f G cycles executed = %.0f recognition frames\n",
-		*policy, cycles/1e9, cycles/frame)
+		cfg.policy, cycles/1e9, cycles/frame)
 	fmt.Fprintf(stdout, "energy harvested: %.1f mJ; storage left at %.2f V\n",
 		harvested*1e3, storage.Voltage())
 	return nil

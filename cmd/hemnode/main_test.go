@@ -58,6 +58,38 @@ func TestRunDeterministicBySeed(t *testing.T) {
 	}
 }
 
+// TestCampaignFanOut checks the multi-campaign path: per-seed headers in
+// seed order, deterministic bytes regardless of the worker count.
+func TestCampaignFanOut(t *testing.T) {
+	outFor := func(jobs string) string {
+		var b strings.Builder
+		if err := run([]string{"-duration", "0.2", "-seed", "3", "-campaigns", "3", "-j", jobs}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := outFor("4")
+	i3 := strings.Index(out, "== campaign seed=3 ==")
+	i4 := strings.Index(out, "== campaign seed=4 ==")
+	i5 := strings.Index(out, "== campaign seed=5 ==")
+	if i3 < 0 || i4 < 0 || i5 < 0 || !(i3 < i4 && i4 < i5) {
+		t.Fatalf("campaign headers missing or out of order:\n%s", out)
+	}
+	if got := outFor("1"); got != out {
+		t.Error("fan-out output differs between -j 1 and -j 4")
+	}
+}
+
+func TestCampaignFanOutValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-campaigns", "0"}, &b); err == nil {
+		t.Error("campaigns=0 accepted")
+	}
+	if err := run([]string{"-campaigns", "2", "-csv", "x.csv"}, &b); err == nil {
+		t.Error("fan-out with -csv accepted")
+	}
+}
+
 func TestTraceCSVExport(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.csv")

@@ -1,10 +1,13 @@
 // Command hemsim regenerates the paper's evaluation figures from the
 // calibrated models. Run with an experiment ID (fig2 ... fig11b, headline),
-// a comma-separated list, or "all".
+// a comma-separated list, or "all". Experiments run on a worker pool (-j)
+// with deterministic output: each renders into its own buffer and the
+// buffers are flushed in registry order, so the report bytes are identical
+// for every -j (only the trailing timing footer varies).
 //
 // Usage:
 //
-//	hemsim [-list] [-csv dir] [experiment...]
+//	hemsim [-list] [-csv dir] [-j N] [-timing] [experiment...]
 package main
 
 import (
@@ -14,9 +17,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/expt"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -30,8 +36,22 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hemsim", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list available experiments and exit")
 	csvDir := fs.String("csv", "", "also write each experiment's series to <dir>/<id>.csv")
-	if err := fs.Parse(args); err != nil {
-		return err
+	jobs := fs.Int("j", runtime.NumCPU(), "experiments to run in parallel")
+	timing := fs.Bool("timing", true, "print the per-experiment timing footer on multi-experiment runs")
+	// Accept flags before and after the experiment IDs (`hemsim all -j 4`):
+	// the stdlib parser stops at the first positional, so re-enter it after
+	// consuming each one.
+	var targets []string
+	for rest := args; ; {
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		targets = append(targets, rest[0])
+		rest = rest[1:]
 	}
 	registry := expt.Registry()
 	if *list {
@@ -41,7 +61,6 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	targets := fs.Args()
 	if len(targets) == 0 {
 		targets = []string{"all"}
 	}
@@ -60,32 +79,78 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	for i, id := range ids {
-		runner, ok := registry[id]
+	var work []runner.Job
+	for _, id := range ids {
+		e, ok := registry[id]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", id)
 		}
-		if i > 0 {
-			fmt.Fprintln(stdout)
-		}
-		if err := runner(stdout); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
+		job := runner.Job{ID: id, Run: e.Run}
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, id); err != nil {
-				return err
+			// CSV export re-runs the driver, so keep it inside the job to
+			// parallelise it too; each job writes its own file.
+			dir := *csvDir
+			run := e.Run
+			job.Run = func(w io.Writer) error {
+				if err := run(w); err != nil {
+					return err
+				}
+				return writeCSV(dir, id)
 			}
 		}
+		work = append(work, job)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+	}
+
+	start := time.Now()
+	var timings []runner.Result
+	first := true
+	err := runner.Stream(work, *jobs, func(r runner.Result) error {
+		if !first {
+			fmt.Fprintln(stdout)
+		}
+		first = false
+		if _, werr := stdout.Write(r.Output); werr != nil {
+			return werr
+		}
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.ID, r.Err)
+		}
+		timings = append(timings, r)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if *timing && len(work) > 1 {
+		writeTimingFooter(stdout, timings, *jobs, time.Since(start))
 	}
 	return nil
+}
+
+// writeTimingFooter reports per-experiment wall-clock plus the aggregate
+// speedup the worker pool achieved. Everything above the "-- timing" marker
+// is byte-identical across -j values; the footer is the only part that
+// varies run to run.
+func writeTimingFooter(w io.Writer, timings []runner.Result, jobs int, wall time.Duration) {
+	fmt.Fprintf(w, "\n-- timing (j=%d) --\n", jobs)
+	var cpu time.Duration
+	for _, r := range timings {
+		fmt.Fprintf(w, "  %-18s %s\n", r.ID, r.Elapsed.Round(100*time.Microsecond))
+		cpu += r.Elapsed
+	}
+	speedup := float64(cpu) / float64(wall)
+	fmt.Fprintf(w, "  %d experiments in %s wall, %s cpu (%.1fx parallel)\n",
+		len(timings), wall.Round(time.Millisecond), cpu.Round(time.Millisecond), speedup)
 }
 
 // writeCSV exports one experiment's series to <dir>/<id>.csv, skipping
 // experiments that only produce summary metrics.
 func writeCSV(dir, id string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("create csv dir: %w", err)
-	}
 	path := filepath.Join(dir, id+".csv")
 	f, err := os.Create(path)
 	if err != nil {

@@ -48,6 +48,79 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 }
 
+// TestParallelOutputByteIdentical is the engine's determinism contract:
+// everything above the timing footer must not depend on -j.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	const targets = "fig2,fig3,fig4,fig5,fig6a,headline"
+	stripped := func(jobs string) string {
+		var b strings.Builder
+		if err := run([]string{"-j", jobs, targets}, &b); err != nil {
+			t.Fatalf("-j %s: %v", jobs, err)
+		}
+		out := b.String()
+		if i := strings.Index(out, "-- timing"); i >= 0 {
+			out = out[:i]
+		} else {
+			t.Errorf("-j %s: timing footer missing from multi-experiment run", jobs)
+		}
+		return out
+	}
+	j1 := stripped("1")
+	j8 := stripped("8")
+	if j1 != j8 {
+		t.Errorf("reports differ between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
+	}
+}
+
+func TestTimingFooter(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-j", "2", "fig3,fig4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"-- timing (j=2) --", "fig3", "fig4", "experiments in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timing footer missing %q:\n%s", want, out)
+		}
+	}
+	// Single-experiment runs stay footer-free.
+	b.Reset()
+	if err := run([]string{"fig3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "-- timing") {
+		t.Error("single-experiment run printed a timing footer")
+	}
+	// And -timing=false silences it.
+	b.Reset()
+	if err := run([]string{"-timing=false", "fig3,fig4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "-- timing") {
+		t.Error("-timing=false still printed a footer")
+	}
+}
+
+// TestFig9bCSVExport pins the series-export bugfix end to end: -csv must
+// produce a waveform file for fig9b, not the "no plottable series" skip.
+func TestFig9bCSVExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient experiment")
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-csv", dir, "fig9b"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig9b.csv"))
+	if err != nil {
+		t.Fatalf("fig9b.csv missing: %v", err)
+	}
+	if !strings.Contains(string(data), "sprint+bypass Vdd") {
+		t.Error("fig9b.csv missing variant waveforms")
+	}
+}
+
 func TestCSVExport(t *testing.T) {
 	dir := t.TempDir()
 	var b strings.Builder

@@ -12,61 +12,18 @@ import (
 var ErrNoSeries = errors.New("expt: experiment has no plottable series")
 
 // SeriesFor runs the experiment with the given ID and returns its data
-// series for CSV export. Experiments that only produce summary metrics
-// (headline) return ErrNoSeries.
+// series for CSV export. The registry is the single source of truth:
+// experiments whose entry carries no Series accessor (see NoSeriesIDs)
+// return ErrNoSeries.
 func SeriesFor(id string) ([]plot.Series, error) {
-	switch id {
-	case "fig2":
-		return Fig2().Series, nil
-	case "fig3":
-		return Fig3().Series, nil
-	case "fig4":
-		return Fig4().Series, nil
-	case "fig5":
-		return Fig5().Series, nil
-	case "fig6a":
-		return Fig6a().Series, nil
-	case "fig6b":
-		r, err := Fig6b()
-		if err != nil {
-			return nil, err
-		}
-		return r.Series, nil
-	case "fig7a":
-		return Fig7a().Series, nil
-	case "fig7b":
-		r, err := Fig7b()
-		if err != nil {
-			return nil, err
-		}
-		return r.Series, nil
-	case "fig8":
-		r, err := Fig8()
-		if err != nil {
-			return nil, err
-		}
-		return r.Series, nil
-	case "fig9a":
-		r, err := Fig9a()
-		if err != nil {
-			return nil, err
-		}
-		return r.Series, nil
-	case "fig9b":
-		return nil, ErrNoSeries
-	case "fig11a":
-		return Fig11a().Series, nil
-	case "fig11b":
-		r, err := Fig11b()
-		if err != nil {
-			return nil, err
-		}
-		return r.Series, nil
-	case "headline", "ext-corners", "ext-domains", "ext-weather", "ext-intermittent", "ext-federation", "ext-shading", "ext-dutycycle", "ext-temperature":
-		return nil, ErrNoSeries
-	default:
+	e, ok := Registry()[id]
+	if !ok {
 		return nil, fmt.Errorf("expt: unknown experiment %q", id)
 	}
+	if e.Series == nil {
+		return nil, ErrNoSeries
+	}
+	return e.Series()
 }
 
 // WriteCSV runs the experiment and streams its series in long-format CSV.

@@ -38,6 +38,16 @@ const (
 
 // Components bundles the default calibrated models used by every
 // experiment.
+//
+// Thread-safety contract: every model in Components is immutable after
+// construction (options apply only inside the constructors), so a
+// Components value — or the individual models — may be shared freely
+// across goroutines. The pv.Cell additionally memoizes its Voc/MPP/curve
+// solves in a concurrency-safe package cache (pv/cache.go). Per-run
+// mutable state (cap.Capacitor, circuit controllers, intermittent
+// executors) is NOT shareable and must be constructed per worker; every
+// driver in this package already does so by building its own storage and
+// simulator per call.
 type Components struct {
 	Cell *pv.Cell
 	Proc *cpu.Processor
@@ -65,58 +75,119 @@ func NewStorageCap(v float64) (*cap.Capacitor, error) {
 // Runner executes one experiment and writes its report.
 type Runner func(w io.Writer) error
 
-// Registry returns the experiment table keyed by ID (fig2, fig3, ...).
-func Registry() map[string]Runner {
-	return map[string]Runner{
-		"fig2":     func(w io.Writer) error { return Fig2().Report(w) },
-		"fig3":     func(w io.Writer) error { return Fig3().Report(w) },
-		"fig4":     func(w io.Writer) error { return Fig4().Report(w) },
-		"fig5":     func(w io.Writer) error { return Fig5().Report(w) },
-		"fig6a":    func(w io.Writer) error { return Fig6a().Report(w) },
-		"fig6b":    func(w io.Writer) error { return runErr(Fig6b())(w) },
-		"fig7a":    func(w io.Writer) error { return Fig7a().Report(w) },
-		"fig7b":    func(w io.Writer) error { return runErr(Fig7b())(w) },
-		"fig8":     func(w io.Writer) error { return runErr(Fig8())(w) },
-		"fig9a":    func(w io.Writer) error { return runErr(Fig9a())(w) },
-		"fig9b":    func(w io.Writer) error { return runErr(Fig9b())(w) },
-		"fig11a":   func(w io.Writer) error { return Fig11a().Report(w) },
-		"fig11b":   func(w io.Writer) error { return runErr(Fig11b())(w) },
-		"headline": func(w io.Writer) error { return Headline().Report(w) },
-
-		// Extensions beyond the paper's evaluation (DESIGN.md Sec. 5).
-		"ext-corners":      func(w io.Writer) error { return runErr(ExtCorners())(w) },
-		"ext-domains":      func(w io.Writer) error { return runErr(ExtDomains())(w) },
-		"ext-weather":      func(w io.Writer) error { return runErr(ExtWeather())(w) },
-		"ext-intermittent": func(w io.Writer) error { return runErr(ExtIntermittent())(w) },
-		"ext-federation":   func(w io.Writer) error { return runErr(ExtFederation())(w) },
-		"ext-shading":      func(w io.Writer) error { return runErr(ExtShading())(w) },
-		"ext-dutycycle":    func(w io.Writer) error { return runErr(ExtDutyCycle())(w) },
-		"ext-temperature":  func(w io.Writer) error { return runErr(ExtTemperature())(w) },
-	}
+// Experiment is one registry entry: the report runner plus an optional
+// series accessor. The registry is the single source of truth for "has
+// plottable series" — a nil Series marks a summary-only experiment (the
+// CSV layer maps it to ErrNoSeries), so the export path can never drift
+// from the driver table again.
+type Experiment struct {
+	ID  string
+	Run Runner
+	// Series re-runs the experiment and returns its plottable data
+	// series. nil for experiments that produce summary numbers only; see
+	// NoSeriesIDs for the documented list.
+	Series func() ([]plot.Series, error)
 }
 
 // reporter is anything that can write its report.
 type reporter interface{ Report(w io.Writer) error }
 
-// runErr adapts a (result, error) pair to a Runner body.
-func runErr[T reporter](res T, err error) func(io.Writer) error {
-	return func(w io.Writer) error {
-		if err != nil {
-			return err
-		}
-		return res.Report(w)
+// entry builds a registry Experiment from a driver constructor and an
+// optional series projection.
+func entry[T reporter](id string, build func() (T, error), series func(T) []plot.Series) Experiment {
+	e := Experiment{
+		ID: id,
+		Run: func(w io.Writer) error {
+			r, err := build()
+			if err != nil {
+				return err
+			}
+			return r.Report(w)
+		},
 	}
+	if series != nil {
+		e.Series = func() ([]plot.Series, error) {
+			r, err := build()
+			if err != nil {
+				return nil, err
+			}
+			return series(r), nil
+		}
+	}
+	return e
+}
+
+// infallible adapts a driver that cannot fail to the (T, error) shape.
+func infallible[T reporter](build func() T) func() (T, error) {
+	return func() (T, error) { return build(), nil }
+}
+
+// registryList returns every experiment in declaration order.
+func registryList() []Experiment {
+	return []Experiment{
+		entry("fig2", infallible(Fig2), func(r *Fig2Result) []plot.Series { return r.Series }),
+		entry("fig3", infallible(Fig3), func(r *EfficiencyFigResult) []plot.Series { return r.Series }),
+		entry("fig4", infallible(Fig4), func(r *EfficiencyFigResult) []plot.Series { return r.Series }),
+		entry("fig5", infallible(Fig5), func(r *EfficiencyFigResult) []plot.Series { return r.Series }),
+		entry("fig6a", infallible(Fig6a), func(r *Fig6aResult) []plot.Series { return r.Series }),
+		entry("fig6b", Fig6b, func(r *Fig6bResult) []plot.Series { return r.Series }),
+		entry("fig7a", infallible(Fig7a), func(r *Fig7aResult) []plot.Series { return r.Series }),
+		entry("fig7b", Fig7b, func(r *Fig7bResult) []plot.Series { return r.Series }),
+		entry("fig8", Fig8, func(r *Fig8Result) []plot.Series { return r.Series }),
+		entry("fig9a", Fig9a, func(r *Fig9aResult) []plot.Series { return r.Series }),
+		entry("fig9b", Fig9b, func(r *Fig9bResult) []plot.Series { return r.Series }),
+		entry("fig11a", infallible(Fig11a), func(r *Fig11aResult) []plot.Series { return r.Series }),
+		entry("fig11b", Fig11b, func(r *Fig11bResult) []plot.Series { return r.Series }),
+		// Summary-only experiments (nil Series => ErrNoSeries on export).
+		entry[*HeadlineResult]("headline", infallible(Headline), nil),
+
+		// Extensions beyond the paper's evaluation (DESIGN.md Sec. 5).
+		// All summary-only: their results are tables of scalars, not
+		// sampled curves.
+		entry[*ExtCornersResult]("ext-corners", ExtCorners, nil),
+		entry[*ExtDomainsResult]("ext-domains", ExtDomains, nil),
+		entry[*ExtWeatherResult]("ext-weather", ExtWeather, nil),
+		entry[*ExtIntermittentResult]("ext-intermittent", ExtIntermittent, nil),
+		entry[*ExtFederationResult]("ext-federation", ExtFederation, nil),
+		entry[*ExtShadingResult]("ext-shading", ExtShading, nil),
+		entry[*ExtDutyCycleResult]("ext-dutycycle", ExtDutyCycle, nil),
+		entry[*ExtTemperatureResult]("ext-temperature", ExtTemperature, nil),
+	}
+}
+
+// Registry returns the experiment table keyed by ID (fig2, fig3, ...).
+func Registry() map[string]Experiment {
+	list := registryList()
+	m := make(map[string]Experiment, len(list))
+	for _, e := range list {
+		m[e.ID] = e
+	}
+	return m
 }
 
 // Names returns the registry keys in a stable order.
 func Names() []string {
-	reg := Registry()
-	names := make([]string, 0, len(reg))
-	for name := range reg {
+	table := Registry() // NOT named `reg`: that would shadow repro/internal/reg (see lint_test.go)
+	names := make([]string, 0, len(table))
+	for name := range table {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// NoSeriesIDs returns, in stable order, the documented allowlist of
+// experiments that have no plottable series. It is derived from the
+// registry, never hand-maintained.
+func NoSeriesIDs() []string {
+	var ids []string
+	for _, e := range registryList() {
+		if e.Series == nil {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // renderChart writes an ASCII chart, tolerating empty data.

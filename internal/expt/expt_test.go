@@ -330,7 +330,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 	registry := Registry()
 	for _, name := range names {
 		var b strings.Builder
-		if err := registry[name](&b); err != nil {
+		if err := registry[name].Run(&b); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 		if !strings.Contains(b.String(), "==") {
@@ -339,26 +339,78 @@ func TestRegistryRunsEverything(t *testing.T) {
 	}
 }
 
+// TestSeriesForCoversRegistry iterates every registry ID and asserts it
+// either yields series or appears on the explicit no-series allowlist.
+// The allowlist itself is derived from the registry (NoSeriesIDs), so this
+// test pins its expected contents: growing it requires touching this list
+// consciously rather than by forgetting an export.
 func TestSeriesForCoversRegistry(t *testing.T) {
+	wantNoSeries := []string{
+		"ext-corners", "ext-domains", "ext-dutycycle", "ext-federation",
+		"ext-intermittent", "ext-shading", "ext-temperature", "ext-weather",
+		"headline",
+	}
+	got := NoSeriesIDs()
+	if len(got) != len(wantNoSeries) {
+		t.Fatalf("no-series allowlist = %v, want %v", got, wantNoSeries)
+	}
+	noSeries := make(map[string]bool, len(got))
+	for i, id := range got {
+		if id != wantNoSeries[i] {
+			t.Fatalf("no-series allowlist = %v, want %v", got, wantNoSeries)
+		}
+		noSeries[id] = true
+	}
 	for _, id := range Names() {
 		series, err := SeriesFor(id)
-		switch id {
-		case "fig9b", "headline", "ext-corners", "ext-domains", "ext-weather", "ext-intermittent", "ext-federation", "ext-shading", "ext-dutycycle", "ext-temperature":
+		if noSeries[id] {
 			if !errors.Is(err, ErrNoSeries) {
 				t.Errorf("%s: want ErrNoSeries, got %v", id, err)
 			}
-		default:
-			if err != nil {
-				t.Errorf("%s: %v", id, err)
-				continue
-			}
-			if len(series) == 0 {
-				t.Errorf("%s: no series", id)
-			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(series) == 0 {
+			t.Errorf("%s: no series despite a registry Series accessor", id)
 		}
 	}
 	if _, err := SeriesFor("nope"); err == nil {
 		t.Error("unknown id accepted")
+	}
+}
+
+// TestFig9bSeriesExported pins the bugfix: fig9b carries per-variant
+// waveforms and must export them instead of returning ErrNoSeries.
+func TestFig9bSeriesExported(t *testing.T) {
+	series, err := SeriesFor("fig9b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four variants x (Vsolar, Vdd).
+	if len(series) != 8 {
+		t.Fatalf("got %d series, want 8", len(series))
+	}
+	names := make(map[string]bool, len(series))
+	for _, s := range series {
+		names[s.Name] = true
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Errorf("%s: malformed series (%d x, %d y)", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	for _, want := range []string{"constant Vsolar", "sprint Vdd", "bypass Vsolar", "sprint+bypass Vdd"} {
+		if !names[want] {
+			t.Errorf("missing series %q in %v", want, names)
+		}
+	}
+	var b strings.Builder
+	if err := WriteCSV("fig9b", &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sprint+bypass Vdd") {
+		t.Error("fig9b CSV missing variant waveform rows")
 	}
 }
 

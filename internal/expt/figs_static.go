@@ -188,15 +188,14 @@ func Fig6b() (*Fig6bResult, error) {
 	regs := []reg.Regulator{c.SC, c.Buck, c.LDO}
 	for _, r := range regs {
 		s := plot.Series{Name: "w/ " + r.Name()}
-		for k := 0; k < SweepPoints; k++ {
+		s.X, s.Y = sweepXY(SweepPoints, func(k int) (float64, float64, bool) {
 			v := 0.05 + (0.85-0.05)*float64(k)/float64(SweepPoints-1)
 			pout, err := reg.OutputPower(r, vmpp, v, pmpp)
 			if err != nil {
-				continue
+				return 0, 0, false
 			}
-			s.X = append(s.X, v)
-			s.Y = append(s.Y, pout*1e3)
-		}
+			return v, pout * 1e3, true
+		})
 		res.Series = append(res.Series, s)
 		cmp, err := sys.Compare(r, pv.FullSun)
 		if err != nil {
@@ -254,15 +253,14 @@ func Fig7a() *Fig7aResult {
 			solar.Y = append(solar.Y, p.Power*1e3)
 		}
 		out := plot.Series{Name: fmt.Sprintf("SC out %.0f%%", irr*100)}
-		for k := 0; k < SweepPoints; k++ {
+		out.X, out.Y = sweepXY(SweepPoints, func(k int) (float64, float64, bool) {
 			v := 0.05 + (0.85-0.05)*float64(k)/float64(SweepPoints-1)
 			pout, err := reg.OutputPower(c.SC, vmpp, v, pmpp)
 			if err != nil {
-				continue
+				return 0, 0, false
 			}
-			out.X = append(out.X, v)
-			out.Y = append(out.Y, pout*1e3)
-		}
+			return v, pout * 1e3, true
+		})
 		res.Series = append(res.Series, solar, out)
 		res.Decisions = append(res.Decisions, sys.DecideBypass(c.SC, irr))
 	}
@@ -305,11 +303,10 @@ func Fig7b() (*Fig7bResult, error) {
 	_, convMin := c.Proc.ConventionalMEP()
 
 	conv := plot.Series{Name: "conventional"}
-	for k := 0; k < SweepPoints; k++ {
+	conv.X, conv.Y = sweepXY(SweepPoints, func(k int) (float64, float64, bool) {
 		v := c.Proc.MinVoltage() + (0.9-c.Proc.MinVoltage())*float64(k)/float64(SweepPoints-1)
-		conv.X = append(conv.X, v)
-		conv.Y = append(conv.Y, c.Proc.EnergyPerCycle(v)/convMin)
-	}
+		return v, c.Proc.EnergyPerCycle(v) / convMin, true
+	})
 	res.Series = append(res.Series, conv)
 
 	for _, r := range []reg.Regulator{c.SC, c.Buck, c.LDO} {
@@ -319,15 +316,14 @@ func Fig7b() (*Fig7bResult, error) {
 		}
 		res.MEPs[r.Name()] = mep
 		s := plot.Series{Name: "w/ " + r.Name()}
-		for k := 0; k < SweepPoints; k++ {
+		s.X, s.Y = sweepXY(SweepPoints, func(k int) (float64, float64, bool) {
 			v := c.Proc.MinVoltage() + (0.9-c.Proc.MinVoltage())*float64(k)/float64(SweepPoints-1)
 			e := sys.SourceEnergyPerCycle(r, vmpp, v)
 			if math.IsInf(e, 0) {
-				continue
+				return 0, 0, false
 			}
-			s.X = append(s.X, v)
-			s.Y = append(s.Y, e/convMin)
-		}
+			return v, e / convMin, true
+		})
 		res.Series = append(res.Series, s)
 	}
 	return res, nil
@@ -367,25 +363,31 @@ func Fig11a() *Fig11aResult {
 	}
 	_, convMin := c.Proc.ConventionalMEP()
 
-	freq := plot.Series{Name: "freq (GHz)"}
-	leak := plot.Series{Name: "leakage E (norm)"}
-	dyn := plot.Series{Name: "dynamic E (norm)"}
-	tot := plot.Series{Name: "total E w/ reg (norm)"}
-	for k := 0; k < SweepPoints; k++ {
-		v := 0.2 + (1.0-0.2)*float64(k)/float64(SweepPoints-1)
-		freq.X = append(freq.X, v)
-		freq.Y = append(freq.Y, c.Proc.MaxFrequency(v)/1e9)
-		if e := c.Proc.LeakageEnergyPerCycle(v); !math.IsInf(e, 0) {
-			leak.X = append(leak.X, v)
-			leak.Y = append(leak.Y, e/convMin)
-		}
-		dyn.X = append(dyn.X, v)
-		dyn.Y = append(dyn.Y, c.Proc.DynamicEnergyPerCycle(v)/convMin)
-		if e := sys.SourceEnergyPerCycle(c.SC, vmpp, v); !math.IsInf(e, 0) {
-			tot.X = append(tot.X, v)
-			tot.Y = append(tot.Y, e/convMin)
-		}
+	fig11aV := func(k int) float64 {
+		return 0.2 + (1.0-0.2)*float64(k)/float64(SweepPoints-1)
 	}
+	freq := plot.Series{Name: "freq (GHz)"}
+	freq.X, freq.Y = sweepXY(SweepPoints, func(k int) (float64, float64, bool) {
+		v := fig11aV(k)
+		return v, c.Proc.MaxFrequency(v) / 1e9, true
+	})
+	leak := plot.Series{Name: "leakage E (norm)"}
+	leak.X, leak.Y = sweepXY(SweepPoints, func(k int) (float64, float64, bool) {
+		v := fig11aV(k)
+		e := c.Proc.LeakageEnergyPerCycle(v)
+		return v, e / convMin, !math.IsInf(e, 0)
+	})
+	dyn := plot.Series{Name: "dynamic E (norm)"}
+	dyn.X, dyn.Y = sweepXY(SweepPoints, func(k int) (float64, float64, bool) {
+		v := fig11aV(k)
+		return v, c.Proc.DynamicEnergyPerCycle(v) / convMin, true
+	})
+	tot := plot.Series{Name: "total E w/ reg (norm)"}
+	tot.X, tot.Y = sweepXY(SweepPoints, func(k int) (float64, float64, bool) {
+		v := fig11aV(k)
+		e := sys.SourceEnergyPerCycle(c.SC, vmpp, v)
+		return v, e / convMin, !math.IsInf(e, 0)
+	})
 	res.Series = []plot.Series{freq, leak, dyn, tot}
 	return res
 }

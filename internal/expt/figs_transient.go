@@ -233,27 +233,32 @@ type Fig9bResult struct {
 	SprintOnly   VariantOutcome
 	BypassOnly   VariantOutcome
 	Proposed     VariantOutcome // sprint + bypass
+	Series       []plot.Series  // per-variant node/supply waveforms
 	SolarGain    float64        // harvested-energy gain of sprinting
 	CapGain      float64        // extra capacitor energy absorbed by the proposed policy
 	OpExtension  float64        // extra operating time of the proposed policy (s)
 	OpExtensionF float64        // as a fraction of the baseline operating time
 }
 
+// fig9bTraceEvery samples the per-variant waveforms sparsely enough not to
+// slow the four runs while keeping the CSV export plottable.
+const fig9bTraceEvery = 100
+
 // Fig9b runs the four policy variants under the dimming scenario.
 func Fig9b() (*Fig9bResult, error) {
-	baseline, err := runVariant("constant", 0, false, 0)
+	baseline, err := runVariant("constant", 0, false, fig9bTraceEvery)
 	if err != nil {
 		return nil, err
 	}
-	sprintOnly, err := runVariant("sprint", demoSprint, false, 0)
+	sprintOnly, err := runVariant("sprint", demoSprint, false, fig9bTraceEvery)
 	if err != nil {
 		return nil, err
 	}
-	bypassOnly, err := runVariant("bypass", 0, true, 0)
+	bypassOnly, err := runVariant("bypass", 0, true, fig9bTraceEvery)
 	if err != nil {
 		return nil, err
 	}
-	proposed, err := runVariant("sprint+bypass", demoSprint, true, 0)
+	proposed, err := runVariant("sprint+bypass", demoSprint, true, fig9bTraceEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +267,12 @@ func Fig9b() (*Fig9bResult, error) {
 		SprintOnly: sprintOnly,
 		BypassOnly: bypassOnly,
 		Proposed:   proposed,
+	}
+	for _, v := range []VariantOutcome{baseline, sprintOnly, bypassOnly, proposed} {
+		for _, s := range traceSeries(v.Trace) {
+			s.Name = v.Name + " " + s.Name
+			res.Series = append(res.Series, s)
+		}
 	}
 	if baseline.EnergyHarvested > 0 {
 		res.SolarGain = sprintOnly.EnergyHarvested/baseline.EnergyHarvested - 1

@@ -1,0 +1,131 @@
+package pv
+
+// Memoized solve layer. The Voc bisection, the MPP golden-section search
+// and the I-V sweep tables are pure functions of the cell calibration and
+// the irradiance, yet the experiment drivers re-solve them thousands of
+// times (every figure re-derives the same full-sun MPP). This cache keys
+// the solved values by (calibration, irradiance) so repeated solves —
+// including solves from distinct *Cell instances with identical
+// calibration, which is what expt.DefaultComponents produces — hit a
+// lock-free lookup instead of re-iterating.
+//
+// Concurrency: the cache is a sync.Map and is safe for concurrent readers
+// and writers; a Cell therefore remains safe to share across goroutines.
+// Two goroutines racing on the same cold key both run the deterministic
+// solver and store byte-identical values, so results never depend on the
+// degree of parallelism.
+//
+// Memory: entries are a few words each and the key space in practice is
+// tiny (a handful of calibrations x a handful of irradiance levels), but
+// the store is capped defensively so adversarial sweeps over millions of
+// distinct irradiances cannot grow it without bound; past the cap, solves
+// still run, they just are not retained.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// solveCacheCap bounds the number of retained entries across both caches.
+const solveCacheCap = 1 << 14
+
+// cellParams is the comparable calibration identity of a Cell.
+type cellParams struct {
+	iph float64
+	i0  float64
+	n   float64
+	ns  int
+	rs  float64
+	rsh float64
+}
+
+func (c *Cell) params() cellParams {
+	return cellParams{
+		iph: c.photoCurrentFullSun,
+		i0:  c.saturationCurrent,
+		n:   c.idealityFactor,
+		ns:  c.seriesCells,
+		rs:  c.seriesResistance,
+		rsh: c.shuntResistance,
+	}
+}
+
+type solveKind uint8
+
+const (
+	kindVoc solveKind = iota
+	kindMPP
+)
+
+type solveKey struct {
+	cell cellParams
+	irr  float64
+	kind solveKind
+}
+
+type curveKey struct {
+	cell cellParams
+	irr  float64
+	n    int
+}
+
+var (
+	solveCache sync.Map // solveKey -> [2]float64
+	curveCache sync.Map // curveKey -> []Point (never mutated after store)
+
+	cacheEntries int64 // approximate population of both maps
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+)
+
+// cachedSolve returns the memoized pair for the key, computing and storing
+// it on a miss. Voc uses only the first element; MPP stores (voltage, power).
+func cachedSolve(key solveKey, solve func() [2]float64) [2]float64 {
+	if v, ok := solveCache.Load(key); ok {
+		cacheHits.Add(1)
+		return v.([2]float64)
+	}
+	cacheMisses.Add(1)
+	val := solve()
+	storeBounded(&solveCache, key, val)
+	return val
+}
+
+// cachedCurve returns a copy of the memoized sweep table, computing and
+// storing it on a miss. Callers receive a fresh slice so the original
+// Curve contract (a mutable result) is preserved.
+func cachedCurve(key curveKey, build func() []Point) []Point {
+	if v, ok := curveCache.Load(key); ok {
+		cacheHits.Add(1)
+		return append([]Point(nil), v.([]Point)...)
+	}
+	cacheMisses.Add(1)
+	pts := build()
+	storeBounded(&curveCache, key, append([]Point(nil), pts...))
+	return pts
+}
+
+// storeBounded stores unless the combined caches exceeded the cap.
+func storeBounded(m *sync.Map, key, val any) {
+	if atomic.LoadInt64(&cacheEntries) >= solveCacheCap {
+		return
+	}
+	if _, loaded := m.LoadOrStore(key, val); !loaded {
+		atomic.AddInt64(&cacheEntries, 1)
+	}
+}
+
+// CacheStats reports the cumulative hit/miss counters of the solve cache,
+// for observability in long-running services and in benchmarks.
+func CacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// resetSolveCache empties the cache and counters (test hook).
+func resetSolveCache() {
+	solveCache.Range(func(k, _ any) bool { solveCache.Delete(k); return true })
+	curveCache.Range(func(k, _ any) bool { curveCache.Delete(k); return true })
+	atomic.StoreInt64(&cacheEntries, 0)
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+}

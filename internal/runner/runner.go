@@ -1,0 +1,122 @@
+// Package runner executes independent jobs on a bounded worker pool with
+// deterministic, ordered output. Each job renders into its own buffer; the
+// buffers are flushed strictly in submission order as soon as a job and all
+// of its predecessors have finished, so a parallel run produces exactly the
+// bytes of a serial one. It is the concurrency substrate of the hemsim and
+// hemnode commands (see DESIGN.md "Parallel experiment engine").
+//
+// Jobs must not share mutable state: the expt drivers satisfy this because
+// every calibrated model (pv.Cell, cpu.Processor, reg.*) is immutable after
+// construction and each driver builds its own transient state (capacitors,
+// controllers) per call.
+package runner
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one unit of work: an identifier plus a function that renders its
+// report into w.
+type Job struct {
+	ID  string
+	Run func(w io.Writer) error
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	ID      string
+	Output  []byte        // everything the job wrote
+	Err     error         // the job's error, nil on success
+	Elapsed time.Duration // the job's own wall-clock time
+	Skipped bool          // true when the pool stopped before running it
+}
+
+// Run executes the jobs on up to `workers` goroutines and returns one
+// Result per job, in job order. workers < 1 is treated as 1. It always
+// waits for every started job to finish.
+func Run(jobs []Job, workers int) []Result {
+	results := make([]Result, len(jobs))
+	pool(jobs, workers, results, nil)
+	return results
+}
+
+// Stream executes the jobs on up to `workers` goroutines and calls flush
+// for each result in job order, as soon as the job and all its
+// predecessors have completed. With workers == 1 the jobs therefore run
+// and flush exactly like a serial loop.
+//
+// If flush returns an error, no further jobs are started, the pool drains,
+// and that error is returned. Job errors do not stop the pool; they are
+// reported through Result.Err so the caller decides.
+func Stream(jobs []Job, workers int, flush func(Result) error) error {
+	results := make([]Result, len(jobs))
+	var stop atomic.Bool
+	done := pool(jobs, workers, results, &stop)
+	var flushErr error
+	for i := range jobs {
+		<-done[i]
+		if flushErr != nil {
+			continue // drain remaining completions without flushing
+		}
+		if err := flush(results[i]); err != nil {
+			flushErr = err
+			stop.Store(true) // skip jobs not yet started
+		}
+	}
+	return flushErr
+}
+
+// pool fans the jobs out over the workers, filling results[i] and closing
+// done[i] as each job completes. When results should be consumed as they
+// arrive (Stream), the returned channels signal per-job completion; Run
+// simply waits for all of them. A nil stop never skips.
+func pool(jobs []Job, workers int, results []Result, stop *atomic.Bool) []chan struct{} {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	done := make([]chan struct{}, len(jobs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	idx := make(chan int, len(jobs))
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if stop != nil && stop.Load() {
+					results[i] = Result{ID: jobs[i].ID, Skipped: true}
+					close(done[i])
+					continue
+				}
+				start := time.Now()
+				var buf bytes.Buffer
+				err := jobs[i].Run(&buf)
+				results[i] = Result{
+					ID:      jobs[i].ID,
+					Output:  buf.Bytes(),
+					Err:     err,
+					Elapsed: time.Since(start),
+				}
+				close(done[i])
+			}
+		}()
+	}
+	if stop == nil {
+		// Run: block until everything finished.
+		wg.Wait()
+	}
+	return done
+}

@@ -1,0 +1,161 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chatty returns a job that writes several lines mentioning its id.
+func chatty(id string, lines int) Job {
+	return Job{ID: id, Run: func(w io.Writer) error {
+		for l := 0; l < lines; l++ {
+			fmt.Fprintf(w, "%s line %d\n", id, l)
+		}
+		return nil
+	}}
+}
+
+func TestRunKeepsJobOrder(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, chatty(fmt.Sprintf("job%02d", i), 3))
+	}
+	results := Run(jobs, 8)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.ID != jobs[i].ID {
+			t.Errorf("result %d is %q, want %q", i, r.ID, jobs[i].ID)
+		}
+		if !strings.HasPrefix(string(r.Output), r.ID+" line 0\n") {
+			t.Errorf("%s: output mixed up: %q", r.ID, r.Output)
+		}
+		if r.Err != nil {
+			t.Errorf("%s: unexpected error %v", r.ID, r.Err)
+		}
+	}
+}
+
+// TestStreamBytesIdenticalAcrossWorkerCounts is the core determinism
+// guarantee: the flushed byte stream must not depend on the worker count,
+// even when jobs finish out of order.
+func TestStreamBytesIdenticalAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, 24)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	build := func() []Job {
+		var jobs []Job
+		for i := range delays {
+			i := i
+			jobs = append(jobs, Job{ID: fmt.Sprintf("j%d", i), Run: func(w io.Writer) error {
+				time.Sleep(delays[i])
+				fmt.Fprintf(w, "report %d\nsecond line %d\n", i, i)
+				return nil
+			}})
+		}
+		return jobs
+	}
+	outputs := make(map[int]string)
+	for _, workers := range []int{1, 2, 8} {
+		var buf bytes.Buffer
+		if err := Stream(build(), workers, func(r Result) error {
+			_, err := buf.Write(r.Output)
+			return err
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		outputs[workers] = buf.String()
+	}
+	if outputs[1] != outputs[2] || outputs[1] != outputs[8] {
+		t.Fatalf("outputs differ across worker counts:\nj1:\n%s\nj8:\n%s", outputs[1], outputs[8])
+	}
+}
+
+func TestRunReportsJobErrors(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		chatty("ok", 1),
+		{ID: "bad", Run: func(w io.Writer) error { fmt.Fprintln(w, "partial"); return boom }},
+		chatty("after", 1),
+	}
+	results := Run(jobs, 2)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("healthy jobs reported errors")
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Errorf("bad job error = %v, want boom", results[1].Err)
+	}
+	// A failing job does not stop the others.
+	if results[2].Skipped || len(results[2].Output) == 0 {
+		t.Error("job after the failure did not run")
+	}
+}
+
+func TestStreamFlushErrorStopsScheduling(t *testing.T) {
+	stopAfter := 3
+	var started atomic.Int32
+	var jobs []Job
+	for i := 0; i < 64; i++ {
+		jobs = append(jobs, Job{ID: fmt.Sprintf("j%d", i), Run: func(w io.Writer) error {
+			started.Add(1)
+			time.Sleep(2 * time.Millisecond) // keep the queue busy past the flush failure
+			return nil
+		}})
+	}
+	flushes := 0
+	wantErr := errors.New("disk full")
+	err := Stream(jobs, 2, func(r Result) error {
+		flushes++
+		if flushes > stopAfter {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want flush error", err)
+	}
+	if flushes != stopAfter+1 {
+		t.Errorf("flush called %d times, want %d", flushes, stopAfter+1)
+	}
+	// With 2 workers a handful of jobs may already be in flight when the
+	// flush fails, but the bulk of the queue must have been skipped.
+	if n := started.Load(); n == 64 {
+		t.Errorf("all %d jobs ran despite the flush error", n)
+	}
+}
+
+func TestRunClampsWorkerCount(t *testing.T) {
+	for _, workers := range []int{-3, 0, 1, 100} {
+		results := Run([]Job{chatty("only", 1)}, workers)
+		if len(results) != 1 || results[0].Err != nil || results[0].Skipped {
+			t.Errorf("workers=%d: bad result %+v", workers, results[0])
+		}
+	}
+}
+
+func TestRunRecordsElapsed(t *testing.T) {
+	jobs := []Job{{ID: "sleepy", Run: func(io.Writer) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	}}}
+	r := Run(jobs, 1)[0]
+	if r.Elapsed < 5*time.Millisecond {
+		t.Errorf("elapsed %v, want >= 5ms", r.Elapsed)
+	}
+}
+
+func TestStreamEmptyJobList(t *testing.T) {
+	if err := Stream(nil, 4, func(Result) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty job list: %v", err)
+	}
+}

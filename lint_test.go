@@ -1,0 +1,117 @@
+package repro
+
+// Shadow lint: a local variable named after an imported package silently
+// shadows that package for the rest of the scope (expt.Names once declared
+// `reg := Registry()` under a `repro/internal/reg` import). The standard
+// `go vet` suite does not include the shadow analyzer and the toolchain
+// here is hermetic, so this test enforces the rule with the stdlib AST —
+// it fails on any `:=`, var, or range declaration whose name equals an
+// imported package name in the same file.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestNoLocalsShadowImportedPackages(t *testing.T) {
+	var violations []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		violations = append(violations, shadowedImports(t, path)...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("local shadows imported package: %s", v)
+	}
+}
+
+// shadowedImports parses one file and returns "file:line: name" for every
+// local declaration that reuses an imported package name.
+func shadowedImports(t *testing.T, path string) []string {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	imported := make(map[string]bool)
+	for _, imp := range file.Imports {
+		switch {
+		case imp.Name != nil:
+			// Named imports; `_` and `.` never introduce a shadowable name.
+			if imp.Name.Name != "_" && imp.Name.Name != "." {
+				imported[imp.Name.Name] = true
+			}
+		default:
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			imported[filepath.Base(p)] = true
+		}
+	}
+	if len(imported) == 0 {
+		return nil
+	}
+	var out []string
+	flag := func(id *ast.Ident) {
+		if id != nil && imported[id.Name] {
+			pos := fset.Position(id.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: %s", pos.Filename, pos.Line, id.Name))
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						flag(id)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					flag(id)
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					flag(id)
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							flag(id)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
