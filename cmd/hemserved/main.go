@@ -1,0 +1,106 @@
+// Command hemserved serves the experiment registry and the energy-management
+// planners over HTTP (see internal/serve for the API). It is the deployment
+// shape of the reproduction: a fleet of battery-less nodes (or a dashboard)
+// queries MPP/DVFS plans and experiment reports from one warmed-up process
+// instead of re-solving the models locally.
+//
+// Endpoints:
+//
+//	GET  /api/v1/experiments            registry listing
+//	GET  /api/v1/experiments/{id}       report (add ?format=csv for series)
+//	POST /api/v1/experiments/batch      {"ids": ["fig2", ...]} or ["all"]
+//	POST /api/v1/pv/solve               {"irradiance": 0.5, "points": 32}
+//	POST /api/v1/mppt/plan              {"pin_w": ...} or a crossing window
+//	GET  /metrics                       counters, latencies, cache hit rates
+//	GET  /healthz                       liveness
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// requests (bounded by -drain).
+//
+// Usage:
+//
+//	hemserved [-addr 127.0.0.1:8080] [-workers N] [-cache 64]
+//	          [-timeout 30s] [-drain 10s] [-quiet]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hemserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until ctx is cancelled (signal) or the
+// listener fails. The "listening on" line goes to stdout so scripts (and
+// the CI smoke job) can discover a :0 port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hemserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cache   = fs.Int("cache", 64, "report LRU capacity (rendered responses)")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline including queueing")
+		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+		quiet   = fs.Bool("quiet", false, "disable the JSON access log on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Workers:         *workers,
+		ReportCacheSize: *cache,
+		RequestTimeout:  *timeout,
+	}
+	if !*quiet {
+		cfg.AccessLog = stderr
+	}
+	srv := &http.Server{
+		Handler:           serve.New(cfg).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "hemserved: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stdout, "hemserved: shutting down, draining in-flight requests (budget %s)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "hemserved: shutdown complete")
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lineWaiter is an io.Writer that lets a test wait for the first line
+// written through it (the "listening on" banner).
+type lineWaiter struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	first chan string
+	sent  bool
+}
+
+func newLineWaiter() *lineWaiter {
+	return &lineWaiter{first: make(chan string, 1)}
+}
+
+func (w *lineWaiter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		if s := w.buf.String(); strings.Contains(s, "\n") {
+			w.first <- strings.SplitN(s, "\n", 2)[0]
+			w.sent = true
+		}
+	}
+	return len(p), nil
+}
+
+func (w *lineWaiter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeAndGracefulShutdown boots the daemon on an ephemeral port,
+// exercises a round trip, then cancels the run context (the signal path)
+// and requires a clean drain.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := newLineWaiter()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet", "-drain", "5s"}, stdout, io.Discard)
+	}()
+
+	var banner string
+	select {
+	case banner = <-stdout.first:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no listening banner within 10s")
+	}
+	base := strings.TrimSpace(strings.TrimPrefix(banner, "hemserved: listening on "))
+	if !strings.HasPrefix(base, "http://") {
+		t.Fatalf("unexpected banner %q", banner)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: status %d body %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not complete within 10s")
+	}
+	if out := stdout.String(); !strings.Contains(out, "shutdown complete") {
+		t.Errorf("missing shutdown banner in output:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:http"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}

@@ -18,7 +18,7 @@ var ErrNoSeries = errors.New("expt: experiment has no plottable series")
 func SeriesFor(id string) ([]plot.Series, error) {
 	e, ok := Registry()[id]
 	if !ok {
-		return nil, fmt.Errorf("expt: unknown experiment %q", id)
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
 	}
 	if e.Series == nil {
 		return nil, ErrNoSeries

@@ -1,0 +1,101 @@
+package expt
+
+// Golden snapshots: every registry experiment's report is pinned byte for
+// byte under testdata/golden. Output drift — a renamed metric, a lost
+// series, a silent skip like the pre-PR-1 fig9b regression — fails CI
+// instead of shipping. Refresh intentionally with
+//
+//	go test ./internal/expt -run TestGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report snapshots")
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".txt")
+}
+
+// TestGoldenReports renders every registry experiment and compares it to
+// its snapshot. Reports are deterministic (the j-parity contract), so any
+// difference is real drift.
+func TestGoldenReports(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range Names() {
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			got, err := Render(id)
+			if err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			path := goldenPath(id)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (refresh with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report drifted from %s:\n%s", path, firstDiff(want, got))
+			}
+		})
+	}
+}
+
+// TestGoldenDirMatchesRegistry fails when a snapshot exists for an
+// experiment that left the registry, so stale goldens cannot linger.
+func TestGoldenDirMatchesRegistry(t *testing.T) {
+	if *update {
+		t.Skip("directory is being rewritten")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden dir missing (refresh with -update): %v", err)
+	}
+	known := make(map[string]bool)
+	for _, id := range Names() {
+		known[id+".txt"] = true
+	}
+	for _, e := range entries {
+		if !known[e.Name()] {
+			t.Errorf("stale golden %s: no matching registry experiment", e.Name())
+		}
+	}
+	if len(entries) != len(known) {
+		t.Errorf("%d goldens for %d registry experiments", len(entries), len(known))
+	}
+}
+
+// firstDiff renders a compact description of the first differing line.
+func firstDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, w, g)
+		}
+	}
+	return "(lengths differ only)"
+}

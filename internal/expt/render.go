@@ -1,0 +1,38 @@
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// ErrUnknown indicates an experiment ID absent from the registry.
+var ErrUnknown = errors.New("expt: unknown experiment")
+
+// Render runs the experiment with the given ID and returns its report
+// bytes. It is the reusable core behind the hemsim CLI path, the golden
+// snapshot tests and hemserved's report cache: registry reports are
+// deterministic functions of the calibrated models, so equal IDs always
+// render equal bytes.
+func Render(id string) ([]byte, error) {
+	e, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RenderCSV runs the experiment and returns its series as long-format CSV
+// bytes. Summary-only experiments return ErrNoSeries, unknown IDs
+// ErrUnknown.
+func RenderCSV(id string) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteCSV(id, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,55 @@
+package imgproc
+
+// FuzzParsePGM hardens the PGM decoder against arbitrary sensor input: no
+// byte stream may crash or hang it, and anything it accepts must satisfy
+// the write/read round-trip — re-encoding the decoded frame and decoding
+// it again yields a pixel-identical image. (WritePGM always emits maxval
+// 255; decoding tolerates any maxval <= 255, and the raw pixel bytes are
+// preserved either way, so the property holds across that asymmetry.)
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzParsePGM(f *testing.F) {
+	valid := func(im *Image) []byte {
+		var buf bytes.Buffer
+		if err := im.WritePGM(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	tiny := NewImage(2, 3)
+	copy(tiny.Pix, []uint8{0, 255, 7, 13, 128, 200})
+	f.Add(valid(tiny))
+	f.Add(valid(NewImage(1, 1)))
+	f.Add([]byte("P5\n# comment line\n2 2\n255\n\x00\x01\x02\x03"))
+	f.Add([]byte("P5 2 2 100 abcd"))
+	f.Add([]byte("P2\n2 2\n255\n0 1 2 3"))   // ASCII PGM: rejected
+	f.Add([]byte("P5\n2 2\n255\n\x00"))      // truncated pixels
+	f.Add([]byte("P5\n-1 2\n255\n"))         // negative width token
+	f.Add([]byte("P5\n99999999 99999999\n")) // absurd dimensions
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := ReadPGM(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; crashing or hanging is not
+		}
+		if im.Width <= 0 || im.Height <= 0 || len(im.Pix) != im.Width*im.Height {
+			t.Fatalf("accepted inconsistent image: %dx%d with %d pixels", im.Width, im.Height, len(im.Pix))
+		}
+		var buf bytes.Buffer
+		if err := im.WritePGM(&buf); err != nil {
+			t.Fatalf("re-encode of accepted image failed: %v", err)
+		}
+		back, err := ReadPGM(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of our own encoding failed: %v", err)
+		}
+		if back.Width != im.Width || back.Height != im.Height || !bytes.Equal(back.Pix, im.Pix) {
+			t.Fatalf("round trip changed the image: %dx%d -> %dx%d", im.Width, im.Height, back.Width, back.Height)
+		}
+	})
+}

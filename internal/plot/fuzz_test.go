@@ -1,0 +1,77 @@
+package plot
+
+// FuzzWriteCSVRoundTrip pins the "parse what we write" property of the CSV
+// exporter: for arbitrary series names (including separators, quotes and
+// control bytes) and arbitrary float values (including NaN and the
+// infinities), the output of WriteCSV must parse back through a conforming
+// RFC-4180 reader (encoding/csv) into exactly the rows we wrote — same
+// names modulo the writer's documented CRLF fold, bit-identical floats,
+// one row per X/Y pair with mismatched lengths truncated to the shorter.
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strconv"
+	"testing"
+)
+
+func FuzzWriteCSVRoundTrip(f *testing.F) {
+	f.Add("full sun", 0.0, 15.9, 1.4, 0.0, uint8(0))
+	f.Add("comma,quote\"", 1.5, -2.5, 3.25, 1e300, uint8(3))
+	f.Add("new\nline", math.Inf(1), math.Inf(-1), math.NaN(), -0.0, uint8(7))
+	f.Add("cr\r\nlf", 1e-308, 5e-324, 1.0/3.0, 6.02e23, uint8(5))
+	f.Add("", 0.0, 0.0, 0.0, 0.0, uint8(8))
+	f.Fuzz(func(t *testing.T, name string, a, b, c, d float64, n uint8) {
+		xs := []float64{a, c, a * c, a + d, b - c}[:2+int(n)%4]
+		ys := []float64{b, d, b / (c + 1), math.Mod(a, 7)}[:2+int(n/4)%3]
+		s := Series{Name: name, X: xs, Y: ys}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, s); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+
+		rec, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+		if err != nil {
+			t.Fatalf("output does not re-parse: %v\n%q", err, buf.String())
+		}
+		rows := len(xs)
+		if len(ys) < rows {
+			rows = len(ys)
+		}
+		if len(rec) != 1+rows {
+			t.Fatalf("got %d records, want header + %d rows", len(rec), rows)
+		}
+		if rec[0][0] != "series" || rec[0][1] != "x" || rec[0][2] != "y" {
+			t.Fatalf("header %q", rec[0])
+		}
+		wantName := csvNormalize(name)
+		for i := 1; i <= rows; i++ {
+			if got := rec[i][0]; got != wantName {
+				t.Fatalf("row %d: name %q, want %q", i, got, wantName)
+			}
+			checkFloat(t, rec[i][1], xs[i-1])
+			checkFloat(t, rec[i][2], ys[i-1])
+		}
+	})
+}
+
+// checkFloat requires the CSV field to parse back to the exact value
+// (NaN matches NaN; everything else must be bit-equivalent under ==,
+// which %g's shortest-round-trip formatting guarantees).
+func checkFloat(t *testing.T, field string, want float64) {
+	t.Helper()
+	got, err := strconv.ParseFloat(field, 64)
+	if err != nil {
+		t.Fatalf("field %q does not parse: %v", field, err)
+	}
+	if math.IsNaN(want) {
+		if !math.IsNaN(got) {
+			t.Fatalf("field %q = %g, want NaN", field, got)
+		}
+		return
+	}
+	if got != want {
+		t.Fatalf("field %q = %g, want %g", field, got, want)
+	}
+}

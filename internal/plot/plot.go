@@ -124,7 +124,12 @@ func (c Chart) Render(w io.Writer, series ...Series) error {
 }
 
 // WriteCSV emits the series in long format: series,x,y per row, with a
-// header. It is the machine-readable companion of Render.
+// header. It is the machine-readable companion of Render. Output is
+// RFC-4180 round-trippable: names containing separators are quoted, and
+// CRLF sequences inside names are folded to LF before writing because
+// conforming readers (encoding/csv included) perform that fold inside
+// quoted fields — writing the folded form is what makes a re-parse return
+// exactly the written bytes (property-tested by FuzzWriteCSVRoundTrip).
 func WriteCSV(w io.Writer, series ...Series) error {
 	if _, err := io.WriteString(w, "series,x,y\n"); err != nil {
 		return err
@@ -142,10 +147,21 @@ func WriteCSV(w io.Writer, series ...Series) error {
 	return nil
 }
 
-// csvEscape quotes a field when it contains separators.
+// csvEscape normalizes and quotes a field when it contains separators.
 func csvEscape(s string) string {
+	s = csvNormalize(s)
 	if strings.ContainsAny(s, ",\"\n") {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// csvNormalize folds CRLF to LF (repeatedly, so "\r\r\n" cannot leave a
+// fresh CRLF behind) to match the fold RFC-4180 readers apply inside
+// quoted fields. Lone CR is preserved: readers keep it mid-field.
+func csvNormalize(s string) string {
+	for strings.Contains(s, "\r\n") {
+		s = strings.ReplaceAll(s, "\r\n", "\n")
 	}
 	return s
 }

@@ -72,37 +72,80 @@ type curveKey struct {
 var (
 	solveCache sync.Map // solveKey -> [2]float64
 	curveCache sync.Map // curveKey -> []Point (never mutated after store)
+	flights    sync.Map // solveKey | curveKey -> *flightCall
 
-	cacheEntries int64 // approximate population of both maps
-	cacheHits    atomic.Uint64
-	cacheMisses  atomic.Uint64
+	cacheEntries   int64 // approximate population of both maps
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	cacheCoalesced atomic.Uint64
 )
+
+// flightCall is one in-progress cold solve that concurrent callers of the
+// same key can wait on instead of re-running the solver (singleflight).
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+}
+
+// coalesce computes the value for key at most once across concurrent
+// callers: the first caller becomes the leader and runs compute; callers
+// arriving while the leader is still solving block until its value lands
+// and share it. The solvers are deterministic, so followers observe
+// exactly the bytes the leader produced — coalescing never changes
+// results, it only removes duplicate work under concurrent cold misses
+// (a request storm on a fresh hemserved process hits each key once).
+//
+// Distinct keys never wait on each other, and a leader's nested solve
+// (MPP's internal Voc lookup) uses a different key, so no cycle — and
+// therefore no deadlock — is possible.
+func coalesce(key any, compute func() any) any {
+	call := &flightCall{}
+	call.wg.Add(1)
+	if c, loaded := flights.LoadOrStore(key, call); loaded {
+		cacheCoalesced.Add(1)
+		fc := c.(*flightCall)
+		fc.wg.Wait()
+		return fc.val
+	}
+	call.val = compute()
+	flights.Delete(key)
+	call.wg.Done()
+	return call.val
+}
 
 // cachedSolve returns the memoized pair for the key, computing and storing
 // it on a miss. Voc uses only the first element; MPP stores (voltage, power).
+// Concurrent cold misses on one key run the solver once (see coalesce).
 func cachedSolve(key solveKey, solve func() [2]float64) [2]float64 {
 	if v, ok := solveCache.Load(key); ok {
 		cacheHits.Add(1)
 		return v.([2]float64)
 	}
 	cacheMisses.Add(1)
-	val := solve()
-	storeBounded(&solveCache, key, val)
-	return val
+	v := coalesce(key, func() any {
+		val := solve()
+		storeBounded(&solveCache, key, val)
+		return val
+	})
+	return v.([2]float64)
 }
 
 // cachedCurve returns a copy of the memoized sweep table, computing and
 // storing it on a miss. Callers receive a fresh slice so the original
-// Curve contract (a mutable result) is preserved.
+// Curve contract (a mutable result) is preserved; coalesced followers
+// share the leader's flight value, so every path copies before returning.
 func cachedCurve(key curveKey, build func() []Point) []Point {
 	if v, ok := curveCache.Load(key); ok {
 		cacheHits.Add(1)
 		return append([]Point(nil), v.([]Point)...)
 	}
 	cacheMisses.Add(1)
-	pts := build()
-	storeBounded(&curveCache, key, append([]Point(nil), pts...))
-	return pts
+	v := coalesce(key, func() any {
+		pts := build()
+		storeBounded(&curveCache, key, append([]Point(nil), pts...))
+		return pts
+	})
+	return append([]Point(nil), v.([]Point)...)
 }
 
 // storeBounded stores unless the combined caches exceeded the cap.
@@ -121,6 +164,12 @@ func CacheStats() (hits, misses uint64) {
 	return cacheHits.Load(), cacheMisses.Load()
 }
 
+// CacheCoalesced reports how many cold solves were absorbed by an
+// already-in-flight computation of the same key (singleflight followers).
+func CacheCoalesced() uint64 {
+	return cacheCoalesced.Load()
+}
+
 // resetSolveCache empties the cache and counters (test hook).
 func resetSolveCache() {
 	solveCache.Range(func(k, _ any) bool { solveCache.Delete(k); return true })
@@ -128,4 +177,5 @@ func resetSolveCache() {
 	atomic.StoreInt64(&cacheEntries, 0)
 	cacheHits.Store(0)
 	cacheMisses.Store(0)
+	cacheCoalesced.Store(0)
 }

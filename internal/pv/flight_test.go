@@ -1,0 +1,77 @@
+package pv
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestCoalesceSingleExecution drives the singleflight primitive directly:
+// followers that arrive while the leader is solving share one execution.
+func TestCoalesceSingleExecution(t *testing.T) {
+	resetSolveCache()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	calls := 0
+	key := solveKey{irr: 0.123, kind: kindVoc}
+	var wg sync.WaitGroup
+	results := make([]any, 6)
+	launch := func(i int) {
+		defer wg.Done()
+		results[i] = coalesce(key, func() any {
+			calls++
+			close(leaderIn)
+			<-release
+			return [2]float64{1.25, 0}
+		})
+	}
+	wg.Add(1)
+	go launch(0)
+	<-leaderIn
+	for i := 1; i < len(results); i++ {
+		wg.Add(1)
+		go launch(i)
+	}
+	// Let the followers park on the in-flight call, then let it finish.
+	for CacheCoalesced() < uint64(len(results)-1) {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	for i, r := range results {
+		if r.([2]float64) != [2]float64{1.25, 0} {
+			t.Errorf("caller %d got %v", i, r)
+		}
+	}
+	if got := CacheCoalesced(); got != uint64(len(results)-1) {
+		t.Errorf("coalesced counter %d, want %d", got, len(results)-1)
+	}
+}
+
+// TestCoalescedColdSolvesIdentical hammers one cold key from many
+// goroutines; every caller must observe bit-identical solver output
+// whether it led or followed.
+func TestCoalescedColdSolvesIdentical(t *testing.T) {
+	resetSolveCache()
+	c := NewCell()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var vals [goroutines][2]float64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, p := c.MPP(0.37)
+			vals[g] = [2]float64{v, p}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if vals[g] != vals[0] {
+			t.Fatalf("goroutine %d solved %v, goroutine 0 %v", g, vals[g], vals[0])
+		}
+	}
+}

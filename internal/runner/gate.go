@@ -1,0 +1,66 @@
+package runner
+
+// Gate is the long-lived counterpart of the batch pool: where Run/Stream
+// fan a fixed job list out and terminate, a Gate bounds the concurrency of
+// an open-ended request stream (hemserved) against the same invariant —
+// never more than N simulation jobs on the CPU at once. It is a
+// context-aware counting semaphore.
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Gate admits at most its capacity of concurrently executing tasks.
+// Construct with NewGate; the zero value is not useful.
+type Gate struct {
+	slots    chan struct{}
+	inFlight atomic.Int64
+	waited   atomic.Uint64
+}
+
+// NewGate returns a Gate admitting up to n concurrent tasks. n < 1 is
+// treated as 1.
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Do runs fn once a slot is free and releases the slot when fn returns.
+// If ctx is cancelled before a slot frees up, fn never runs and ctx's
+// error is returned; once fn has started it always runs to completion
+// (cancellation mid-task is the task's own concern).
+func (g *Gate) Do(ctx context.Context, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case g.slots <- struct{}{}:
+	default:
+		// Full: record contention, then block until a slot or cancellation.
+		g.waited.Add(1)
+		select {
+		case g.slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	g.inFlight.Add(1)
+	defer func() {
+		g.inFlight.Add(-1)
+		<-g.slots
+	}()
+	return fn()
+}
+
+// Cap returns the gate's admission capacity.
+func (g *Gate) Cap() int { return cap(g.slots) }
+
+// InFlight returns the number of tasks currently executing.
+func (g *Gate) InFlight() int { return int(g.inFlight.Load()) }
+
+// Waited returns how many Do calls found the gate full and had to queue,
+// a cheap saturation signal for the /metrics endpoint.
+func (g *Gate) Waited() uint64 { return g.waited.Load() }

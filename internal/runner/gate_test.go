@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateBoundsConcurrency proves the admission invariant: with capacity
+// 3, no more than 3 tasks ever execute at once.
+func TestGateBoundsConcurrency(t *testing.T) {
+	g := NewGate(3)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := g.Do(context.Background(), func() error {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds capacity 3", p)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("in-flight %d after drain", g.InFlight())
+	}
+	if g.Waited() == 0 {
+		t.Error("40 tasks through 3 slots never waited")
+	}
+}
+
+// TestGateCancelledWhileQueued: a caller stuck behind a full gate honours
+// its context and never runs.
+func TestGateCancelledWhileQueued(t *testing.T) {
+	g := NewGate(1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go g.Do(context.Background(), func() error {
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+	defer close(block)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ran := false
+	err := g.Do(ctx, func() error { ran = true; return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want deadline exceeded", err)
+	}
+	if ran {
+		t.Error("cancelled task still ran")
+	}
+}
+
+// TestGateCancelledBeforeCall: an already-dead context never enters the
+// gate, even when a slot is free.
+func TestGateCancelledBeforeCall(t *testing.T) {
+	g := NewGate(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Do(ctx, func() error { t.Error("ran"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want canceled", err)
+	}
+}
+
+// TestGateErrorPassthrough: the task's own error comes back and the slot
+// is released for the next caller.
+func TestGateErrorPassthrough(t *testing.T) {
+	g := NewGate(1)
+	boom := errors.New("boom")
+	if err := g.Do(context.Background(), func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want boom", err)
+	}
+	if err := g.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("slot not released: %v", err)
+	}
+}
+
+func TestGateMinimumCapacity(t *testing.T) {
+	if got := NewGate(0).Cap(); got != 1 {
+		t.Errorf("NewGate(0).Cap() = %d, want 1", got)
+	}
+	if got := NewGate(-5).Cap(); got != 1 {
+		t.Errorf("NewGate(-5).Cap() = %d, want 1", got)
+	}
+}

@@ -1,0 +1,145 @@
+package serve
+
+// Response caching for deterministic renders. Registry reports and CSV
+// exports are pure functions of the calibrated models, so the rendered
+// bytes for an experiment ID never change within a process: an LRU of
+// rendered responses turns the steady-state cost of GET /experiments/{id}
+// into a map lookup, and a singleflight group collapses concurrent cold
+// requests for the same ID into one render. Cached entries are the exact
+// bytes of the cold render — handlers write them verbatim, never mutate
+// them — which is what the byte-identity test in serve_test.go pins.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lru is a mutex-guarded least-recently-used byte cache.
+type lru struct {
+	mu    sync.Mutex
+	max   int
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(max int) *lru {
+	if max < 1 {
+		max = 1
+	}
+	return &lru{max: max, items: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lru) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution of fn (singleflight). Followers receive the leader's exact
+// value and error.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flight
+}
+
+type flight struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// do runs fn once per key across concurrent callers. shared is true for
+// followers that waited on another caller's execution.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flight)
+	}
+	if f, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.val, true, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	g.calls[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	f.wg.Done()
+	return f.val, false, f.err
+}
+
+// renderCache is the serving stack's response cache: LRU in front,
+// singleflight behind, instrumented for /metrics.
+type renderCache struct {
+	lru    *lru
+	group  flightGroup
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	shared atomic.Uint64 // requests absorbed by an in-flight render
+}
+
+func newRenderCache(size int) *renderCache {
+	return &renderCache{lru: newLRU(size)}
+}
+
+// get returns the cached response for key, rendering (at most once per
+// concurrent wave) and filling the cache on a miss. Errors are never
+// cached: a transient failure does not poison the key.
+func (c *renderCache) get(key string, render func() ([]byte, error)) ([]byte, error) {
+	if b, ok := c.lru.get(key); ok {
+		c.hits.Add(1)
+		return b, nil
+	}
+	c.misses.Add(1)
+	b, shared, err := c.group.do(key, func() ([]byte, error) {
+		b, err := render()
+		if err != nil {
+			return nil, err
+		}
+		c.lru.put(key, b)
+		return b, nil
+	})
+	if shared {
+		c.shared.Add(1)
+	}
+	return b, err
+}

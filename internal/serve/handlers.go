@@ -1,0 +1,356 @@
+package serve
+
+// Endpoint implementations. Conventions: request and response bodies are
+// JSON except experiment reports (text/plain) and CSV exports (text/csv);
+// errors use the {"error": "..."} envelope; unknown experiment IDs map to
+// 404, structurally invalid requests to 400, and summary-only experiments
+// asked for CSV to 422.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/expt"
+	"repro/internal/mppt"
+	"repro/internal/pv"
+	"repro/internal/runner"
+)
+
+// maxRequestBody bounds POST bodies; the largest legitimate request is a
+// batch of every experiment ID, far under a kilobyte.
+const maxRequestBody = 1 << 16
+
+// maxCurvePoints bounds the I-V table size a single solve may request.
+const maxCurvePoints = 4096
+
+// experimentInfo is one row of the registry listing.
+type experimentInfo struct {
+	ID        string `json:"id"`
+	HasSeries bool   `json:"has_series"`
+}
+
+// handleExperimentsList reports the registry in stable ID order.
+func (s *Server) handleExperimentsList(w http.ResponseWriter, r *http.Request) {
+	registry := expt.Registry()
+	infos := make([]experimentInfo, 0, len(registry))
+	for _, id := range expt.Names() {
+		infos = append(infos, experimentInfo{ID: id, HasSeries: registry[id].Series != nil})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": infos})
+}
+
+// renderExperiment produces the cached response body for one experiment in
+// the requested format, running the cold render under the simulation gate.
+// The cache key is just the ID (per format): registry outputs are
+// deterministic.
+func (s *Server) renderExperiment(r *http.Request, id, format string) ([]byte, error) {
+	render := expt.Render
+	key := "report:" + id
+	if format == "csv" {
+		render = expt.RenderCSV
+		key = "csv:" + id
+	}
+	return s.reports.get(key, func() (body []byte, err error) {
+		gateErr := s.gate.Do(r.Context(), func() error {
+			body, err = render(id)
+			return nil
+		})
+		if gateErr != nil {
+			return nil, gateErr
+		}
+		return body, err
+	})
+}
+
+// handleExperimentGet serves one experiment report (text) or its series
+// (?format=csv).
+func (s *Server) handleExperimentGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "csv" && format != "text" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want text or csv)", format))
+		return
+	}
+	if format == "text" {
+		format = ""
+	}
+	body, err := s.renderExperiment(r, id, format)
+	if err != nil {
+		writeExperimentError(w, r, err)
+		return
+	}
+	if format == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Write(body)
+}
+
+// batchRequest asks for several experiment reports in one round trip.
+type batchRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// batchResult is one experiment's outcome within a batch response.
+type batchResult struct {
+	ID     string `json:"id"`
+	Report string `json:"report,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleExperimentsBatch renders several experiments concurrently on the
+// runner pool, each render passing the simulation gate and the report
+// cache, and returns them in request order.
+func (s *Server) handleExperimentsBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, "ids must be a non-empty list (use \"all\" for the full registry)")
+		return
+	}
+	ids := req.IDs
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = expt.Names()
+	}
+	jobs := make([]runner.Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = runner.Job{ID: id, Run: func(jw io.Writer) error {
+			body, err := s.renderExperiment(r, id, "")
+			if err != nil {
+				return err
+			}
+			_, werr := jw.Write(body)
+			return werr
+		}}
+	}
+	results := runner.Run(jobs, s.gate.Cap())
+	out := make([]batchResult, len(results))
+	status := http.StatusOK
+	for i, res := range results {
+		out[i] = batchResult{ID: res.ID, Report: string(res.Output)}
+		if res.Err != nil {
+			out[i] = batchResult{ID: res.ID, Error: res.Err.Error()}
+			if errors.Is(res.Err, expt.ErrUnknown) {
+				status = http.StatusNotFound
+			}
+		}
+	}
+	writeJSON(w, status, map[string]any{"results": out})
+}
+
+// pvSolveRequest parameterises one PV characterisation. Zero-valued
+// calibration fields keep the paper's IXYS defaults.
+type pvSolveRequest struct {
+	Irradiance float64 `json:"irradiance"`
+	Points     int     `json:"points,omitempty"` // I-V samples; 0 omits the curve
+
+	PhotoCurrentA      float64 `json:"photo_current_a,omitempty"`
+	IdealityFactor     float64 `json:"ideality_factor,omitempty"`
+	SeriesCells        int     `json:"series_cells,omitempty"`
+	SeriesResistanceO  float64 `json:"series_resistance_ohm,omitempty"`
+	ShuntResistanceO   float64 `json:"shunt_resistance_ohm,omitempty"`
+	SaturationCurrentA float64 `json:"saturation_current_a,omitempty"`
+}
+
+// pvPoint mirrors pv.Point with JSON tags.
+type pvPoint struct {
+	V float64 `json:"v"`
+	I float64 `json:"i"`
+	P float64 `json:"p"`
+}
+
+type pvSolveResponse struct {
+	Irradiance float64   `json:"irradiance"`
+	VocV       float64   `json:"voc_v"`
+	IscA       float64   `json:"isc_a"`
+	MPPVoltage float64   `json:"mpp_v"`
+	MPPPower   float64   `json:"mpp_w"`
+	Curve      []pvPoint `json:"curve,omitempty"`
+}
+
+// cellFor builds the request's cell; identical calibrations share the
+// process-wide solve cache, so repeated solves of the default cell are
+// lookups.
+func (s *Server) cellFor(req pvSolveRequest) *pv.Cell {
+	var opts []pv.Option
+	if req.PhotoCurrentA > 0 {
+		opts = append(opts, pv.WithPhotoCurrent(req.PhotoCurrentA))
+	}
+	if req.IdealityFactor > 0 {
+		opts = append(opts, pv.WithIdealityFactor(req.IdealityFactor))
+	}
+	if req.SeriesCells > 0 {
+		opts = append(opts, pv.WithSeriesCells(req.SeriesCells))
+	}
+	if req.SeriesResistanceO > 0 {
+		opts = append(opts, pv.WithSeriesResistance(req.SeriesResistanceO))
+	}
+	if req.ShuntResistanceO > 0 {
+		opts = append(opts, pv.WithShuntResistance(req.ShuntResistanceO))
+	}
+	if req.SaturationCurrentA > 0 {
+		opts = append(opts, pv.WithSaturationCurrent(req.SaturationCurrentA))
+	}
+	if len(opts) == 0 {
+		return s.cell
+	}
+	return pv.NewCell(opts...)
+}
+
+// handlePVSolve characterises a cell at one irradiance: Voc, Isc, MPP and
+// optionally the sampled I-V curve. Solves hit the memoized, coalescing
+// cache in internal/pv.
+func (s *Server) handlePVSolve(w http.ResponseWriter, r *http.Request) {
+	var req pvSolveRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Irradiance <= 0 {
+		httpError(w, http.StatusBadRequest, "irradiance must be positive")
+		return
+	}
+	if req.Points < 0 || req.Points > maxCurvePoints {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("points must be in [0, %d]", maxCurvePoints))
+		return
+	}
+	if req.Points == 1 {
+		httpError(w, http.StatusBadRequest, "points must be 0 or at least 2")
+		return
+	}
+	cell := s.cellFor(req)
+	var resp pvSolveResponse
+	if !s.gated(w, r, func() error {
+		resp.Irradiance = req.Irradiance
+		resp.VocV = cell.OpenCircuitVoltage(req.Irradiance)
+		resp.IscA = cell.ShortCircuitCurrent(req.Irradiance)
+		resp.MPPVoltage, resp.MPPPower = cell.MPP(req.Irradiance)
+		for _, p := range cell.Curve(req.Irradiance, req.Points) {
+			resp.Curve = append(resp.Curve, pvPoint{V: p.Voltage, I: p.Current, P: p.Power})
+		}
+		return nil
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mpptPlanRequest asks for a DVFS plan either directly from an input-power
+// estimate (pin_w) or from a Sec. VI.A threshold-crossing observation.
+type mpptPlanRequest struct {
+	PinW float64 `json:"pin_w,omitempty"`
+
+	CapacitanceF float64 `json:"capacitance_f,omitempty"`
+	VHigh        float64 `json:"v_high,omitempty"`
+	VLow         float64 `json:"v_low,omitempty"`
+	ElapsedS     float64 `json:"elapsed_s,omitempty"`
+	DrawPowerW   float64 `json:"draw_power_w,omitempty"`
+}
+
+type mpptPlanResponse struct {
+	PinW        float64 `json:"pin_w"`
+	Irradiance  float64 `json:"irradiance"`
+	MPPVoltage  float64 `json:"mpp_v"`
+	SupplyV     float64 `json:"supply_v"`
+	FrequencyHz float64 `json:"frequency_hz"`
+	Bypass      bool    `json:"bypass"`
+}
+
+// handleMPPTPlan estimates the harvester's input power (Eq. 7, when a
+// crossing window is given) and looks up the pre-characterised plan table:
+// MPP voltage plus the recommended supply/frequency/bypass setting.
+func (s *Server) handleMPPTPlan(w http.ResponseWriter, r *http.Request) {
+	var req mpptPlanRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	pin := req.PinW
+	if req.ElapsedS != 0 || req.CapacitanceF != 0 || req.VHigh != 0 || req.VLow != 0 {
+		if req.PinW != 0 {
+			httpError(w, http.StatusBadRequest, "give either pin_w or a crossing window, not both")
+			return
+		}
+		var err error
+		pin, err = mppt.EstimateInputPower(req.CapacitanceF, req.VHigh, req.VLow, req.ElapsedS, req.DrawPowerW)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else if req.PinW <= 0 {
+		httpError(w, http.StatusBadRequest, "pin_w must be positive (or give a crossing window)")
+		return
+	}
+	plan, err := s.table.Lookup(pin)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, mpptPlanResponse{
+		PinW:        pin,
+		Irradiance:  plan.Irradiance,
+		MPPVoltage:  plan.MPPVoltage,
+		SupplyV:     plan.Supply,
+		FrequencyHz: plan.Frequency,
+		Bypass:      plan.Bypass,
+	})
+}
+
+// handleMetrics snapshots every counter the server maintains.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	pvHits, pvMisses := pv.CacheStats()
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(map[string]any{
+		"report_cache": map[string]any{
+			"size":      s.reports.lru.len(),
+			"capacity":  s.cfg.ReportCacheSize,
+			"hits":      s.reports.hits.Load(),
+			"misses":    s.reports.misses.Load(),
+			"coalesced": s.reports.shared.Load(),
+		},
+		"pv_cache": map[string]any{
+			"hits":      pvHits,
+			"misses":    pvMisses,
+			"coalesced": pv.CacheCoalesced(),
+		},
+		"gate": map[string]any{
+			"capacity":  s.gate.Cap(),
+			"in_flight": s.gate.InFlight(),
+			"waited":    s.gate.Waited(),
+		},
+	}))
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// writeExperimentError maps render errors onto the API's status contract.
+func writeExperimentError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, expt.ErrUnknown):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, expt.ErrNoSeries):
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	case r.Context().Err() != nil:
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// decodeJSON parses a bounded JSON body, rejecting unknown fields so typos
+// fail loudly. It writes the 400 itself and reports success.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}

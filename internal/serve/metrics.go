@@ -1,0 +1,184 @@
+package serve
+
+// Observability without external dependencies: expvar-style counters,
+// fixed-bucket latency histograms and gauges, snapshotted as one JSON
+// document on GET /metrics, plus a structured (JSON lines) request log.
+// Everything is updated with atomics or short critical sections so the
+// hot path pays a few nanoseconds, not a lock convoy.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in milliseconds; the last
+// implicit bucket is +Inf.
+var latencyBuckets = [numBuckets - 1]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// numBuckets counts the finite buckets plus the +Inf overflow bucket.
+const numBuckets = 11
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumUS  atomic.Uint64 // total microseconds, for mean latency
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBuckets[:], ms)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(uint64(d / time.Microsecond))
+}
+
+func (h *histogram) snapshot() map[string]any {
+	buckets := make(map[string]uint64, len(latencyBuckets)+1)
+	for i, ub := range latencyBuckets {
+		buckets[fmt.Sprintf("le_%gms", ub)] = h.counts[i].Load()
+	}
+	buckets["le_inf"] = h.counts[len(latencyBuckets)].Load()
+	n := h.count.Load()
+	mean := 0.0
+	if n > 0 {
+		mean = float64(h.sumUS.Load()) / float64(n) / 1000.0
+	}
+	return map[string]any{"count": n, "mean_ms": mean, "buckets": buckets}
+}
+
+// metrics aggregates the server's counters. One instance per Server.
+type metrics struct {
+	start    time.Time
+	inFlight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[string]*routeStats // route label -> stats
+}
+
+type routeStats struct {
+	total    atomic.Uint64
+	byStatus [6]atomic.Uint64 // index status/100 (1xx..5xx); 0 unused
+	latency  histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), requests: make(map[string]*routeStats)}
+}
+
+// route returns (creating on first use) the stats bucket for a label.
+func (m *metrics) route(label string) *routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.requests[label]
+	if !ok {
+		rs = &routeStats{}
+		m.requests[label] = rs
+	}
+	return rs
+}
+
+func (m *metrics) record(label string, status int, d time.Duration) {
+	rs := m.route(label)
+	rs.total.Add(1)
+	if c := status / 100; c >= 1 && c <= 5 {
+		rs.byStatus[c].Add(1)
+	}
+	rs.latency.observe(d)
+}
+
+// snapshot builds the /metrics JSON document. extra carries sections owned
+// by the Server (cache and gate stats).
+func (m *metrics) snapshot(extra map[string]any) map[string]any {
+	m.mu.Lock()
+	labels := make([]string, 0, len(m.requests))
+	for l := range m.requests {
+		labels = append(labels, l)
+	}
+	m.mu.Unlock()
+	sort.Strings(labels)
+
+	reqs := make(map[string]any, len(labels))
+	var total uint64
+	for _, l := range labels {
+		rs := m.route(l)
+		status := map[string]uint64{}
+		for c := 1; c <= 5; c++ {
+			if n := rs.byStatus[c].Load(); n > 0 {
+				status[fmt.Sprintf("%dxx", c)] = n
+			}
+		}
+		total += rs.total.Load()
+		reqs[l] = map[string]any{
+			"total":      rs.total.Load(),
+			"by_status":  status,
+			"latency_ms": rs.latency.snapshot(),
+		}
+	}
+	doc := map[string]any{
+		"uptime_s":       time.Since(m.start).Seconds(),
+		"in_flight":      m.inFlight.Load(),
+		"requests_total": total,
+		"requests":       reqs,
+	}
+	for k, v := range extra {
+		doc[k] = v
+	}
+	return doc
+}
+
+// requestLog emits one JSON line per request when w is non-nil. The mutex
+// keeps concurrent lines from interleaving.
+type requestLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *requestLog) log(method, path string, status int, bytes int64, d time.Duration) {
+	if l == nil || l.w == nil {
+		return
+	}
+	line, err := json.Marshal(map[string]any{
+		"time":   time.Now().UTC().Format(time.RFC3339Nano),
+		"method": method,
+		"path":   path,
+		"status": status,
+		"bytes":  bytes,
+		"ms":     float64(d) / float64(time.Millisecond),
+	})
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(append(line, '\n'))
+}
+
+// statusWriter captures the response status and size for metrics/logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
