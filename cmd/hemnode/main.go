@@ -11,7 +11,7 @@
 //
 //	hemnode [-duration 6] [-seed 7] [-policy tracked|fixed|mep]
 //	        [-cloudiness 0.4] [-cap 100e-6] [-csv trace.csv]
-//	        [-campaigns 1] [-j N]
+//	        [-trace events.jsonl] [-campaigns 1] [-j N]
 package main
 
 import (
@@ -20,7 +20,9 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 
 	"repro/internal/cap"
 	"repro/internal/circuit"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/runner"
+	"repro/internal/trace"
 	"repro/internal/weather"
 )
 
@@ -49,6 +52,7 @@ type campaignConfig struct {
 	cloudiness float64
 	capacity   float64
 	csvPath    string
+	tracePath  string
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -60,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 		cloudiness = fs.Float64("cloudiness", 0.4, "fraction of time under cloud (0..0.9)")
 		capacity   = fs.Float64("cap", 100e-6, "storage capacitance (farads)")
 		csvPath    = fs.String("csv", "", "write the irradiance trace to this CSV file")
+		tracePath  = fs.String("trace", "", "write simulation events to this file (.json selects Chrome trace format, else JSONL)")
 		campaigns  = fs.Int("campaigns", 1, "number of campaigns to fan out (seeds seed..seed+N-1)")
 		jobs       = fs.Int("j", runtime.NumCPU(), "campaigns to run in parallel")
 	)
@@ -78,6 +83,9 @@ func run(args []string, stdout io.Writer) error {
 	if *campaigns > 1 && *csvPath != "" {
 		return fmt.Errorf("-csv supports a single campaign (run fan-outs without it)")
 	}
+	if *campaigns > 1 && *tracePath != "" {
+		return fmt.Errorf("-trace supports a single campaign (run fan-outs without it)")
+	}
 
 	cfg := campaignConfig{
 		duration:   *duration,
@@ -86,6 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		cloudiness: *cloudiness,
 		capacity:   *capacity,
 		csvPath:    *csvPath,
+		tracePath:  *tracePath,
 	}
 	if *campaigns == 1 {
 		return campaign(cfg, stdout)
@@ -132,15 +141,15 @@ func campaign(cfg campaignConfig, stdout io.Writer) error {
 		weather.WithCloudAttenuation(0.2, 0.07),
 		weather.WithRelaxationTime(0.3),
 	)
-	trace, err := gen.Trace(cfg.duration, 0.005, nil)
+	wx, err := gen.Trace(cfg.duration, 0.005, nil)
 	if err != nil {
 		return fmt.Errorf("weather: %w", err)
 	}
-	minIrr, meanIrr, maxIrr := trace.Stats()
+	minIrr, meanIrr, maxIrr := wx.Stats()
 	fmt.Fprintf(stdout, "weather: %.1f s, light min/mean/max = %.0f%%/%.0f%%/%.0f%%\n",
 		cfg.duration, minIrr*100, meanIrr*100, maxIrr*100)
 	if cfg.csvPath != "" {
-		if err := writeTraceCSV(cfg.csvPath, trace); err != nil {
+		if err := writeTraceCSV(cfg.csvPath, wx); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "trace written to %s\n", cfg.csvPath)
@@ -154,18 +163,27 @@ func campaign(cfg campaignConfig, stdout io.Writer) error {
 		return fmt.Errorf("capacitor: %w", err)
 	}
 
+	var rec *trace.Recorder
+	var tracer trace.Tracer // stays nil (tracing off) without -trace
+	if cfg.tracePath != "" {
+		rec = trace.NewRecorder()
+		tracer = rec
+	}
+
 	var cycles, harvested float64
 	switch cfg.policy {
 	case "tracked":
 		mgr := core.NewManager(core.NewSystem(cell, proc), sc)
 		res, err := mgr.RunTracked(core.TrackedRunConfig{
 			Cap:        storage,
-			Irradiance: trace.At,
+			Irradiance: wx.At,
 			Levels:     []float64{0.02, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0},
 			V1:         0.95,
 			V2:         0.85,
 			Duration:   cfg.duration,
 			Step:       20e-6,
+			Tracer:     tracer,
+			TraceTrack: cfg.policy,
 		})
 		if err != nil {
 			return fmt.Errorf("tracked run: %w", err)
@@ -182,10 +200,12 @@ func campaign(cfg campaignConfig, stdout io.Writer) error {
 			Proc:       proc,
 			Reg:        sc,
 			Cap:        storage,
-			Irradiance: trace.At,
+			Irradiance: wx.At,
 			Controller: &circuit.FixedPoint{Supply: supply},
 			Step:       20e-6,
 			MaxTime:    cfg.duration,
+			Tracer:     tracer,
+			TraceTrack: cfg.policy,
 		})
 		if err != nil {
 			return fmt.Errorf("assemble: %w", err)
@@ -204,7 +224,31 @@ func campaign(cfg campaignConfig, stdout io.Writer) error {
 		cfg.policy, cycles/1e9, cycles/frame)
 	fmt.Fprintf(stdout, "energy harvested: %.1f mJ; storage left at %.2f V\n",
 		harvested*1e3, storage.Voltage())
+	if rec != nil {
+		if err := writeEvents(cfg.tracePath, rec.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace events written to %s (%d events)\n", cfg.tracePath, rec.Len())
+	}
 	return nil
+}
+
+// writeEvents exports the campaign's simulation events; the extension
+// selects the format (.json is a Chrome trace, anything else JSONL).
+func writeEvents(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create trace file: %w", err)
+	}
+	defer f.Close()
+	format := trace.FormatJSONL
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		format = trace.FormatChrome
+	}
+	if err := trace.Write(f, format, events); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return f.Close()
 }
 
 // writeTraceCSV exports the irradiance trace.

@@ -8,11 +8,16 @@
 //
 //	GET  /api/v1/experiments            registry listing
 //	GET  /api/v1/experiments/{id}       report (add ?format=csv for series)
+//	GET  /api/v1/experiments/{id}/trace simulation events (?format=chrome)
 //	POST /api/v1/experiments/batch      {"ids": ["fig2", ...]} or ["all"]
 //	POST /api/v1/pv/solve               {"irradiance": 0.5, "points": 32}
 //	POST /api/v1/mppt/plan              {"pin_w": ...} or a crossing window
 //	GET  /metrics                       counters, latencies, cache hit rates
+//	GET  /metrics/prometheus            the same counters, Prometheus text format
 //	GET  /healthz                       liveness
+//
+// With -debug-addr a second listener serves net/http/pprof under /debug/
+// pprof/, kept off the public mux so profiling never rides the API port.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests (bounded by -drain).
@@ -20,7 +25,7 @@
 // Usage:
 //
 //	hemserved [-addr 127.0.0.1:8080] [-workers N] [-cache 64]
-//	          [-timeout 30s] [-drain 10s] [-quiet]
+//	          [-timeout 30s] [-drain 10s] [-quiet] [-debug-addr 127.0.0.1:0]
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +67,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline including queueing")
 		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
 		quiet   = fs.Bool("quiet", false, "disable the JSON access log on stderr")
+		debug   = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +91,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "hemserved: listening on http://%s\n", ln.Addr())
 
+	if *debug != "" {
+		debugSrv, debugLn, err := debugServer(*debug)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer debugSrv.Close()
+		fmt.Fprintf(stdout, "hemserved: pprof on http://%s/debug/pprof/\n", debugLn.Addr())
+		go debugSrv.Serve(debugLn)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -103,4 +120,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "hemserved: shutdown complete")
 	return nil
+}
+
+// debugServer builds the opt-in pprof listener. The handlers are wired
+// explicitly instead of importing net/http/pprof for its DefaultServeMux
+// side effect, so nothing ever leaks onto the API mux.
+func debugServer(addr string) (*http.Server, net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln, nil
 }

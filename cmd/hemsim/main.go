@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	hemsim [-list] [-csv dir] [-j N] [-timing] [experiment...]
+//	hemsim [-list] [-csv dir] [-trace file] [-j N] [-timing] [experiment...]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,6 +39,8 @@ func run(args []string, stdout io.Writer) error {
 	csvDir := fs.String("csv", "", "also write each experiment's series to <dir>/<id>.csv")
 	jobs := fs.Int("j", runtime.NumCPU(), "experiments to run in parallel")
 	timing := fs.Bool("timing", true, "print the per-experiment timing footer on multi-experiment runs")
+	traceFile := fs.String("trace", "", "write traced experiments' simulation events to <file> (.json selects Chrome trace format, else JSONL)")
+	traceWall := fs.Bool("trace-wall", false, "add wall-clock runner spans (worker, queue wait) to the -trace output; non-deterministic")
 	// Accept flags before and after the experiment IDs (`hemsim all -j 4`):
 	// the stdlib parser stops at the first positional, so re-enter it after
 	// consuming each one.
@@ -80,7 +83,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var work []runner.Job
-	for _, id := range ids {
+	batches := make([][]trace.Event, len(ids)) // per-job events, merged in registry order
+	for i, id := range ids {
 		e, ok := registry[id]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", id)
@@ -90,12 +94,30 @@ func run(args []string, stdout io.Writer) error {
 			// CSV export re-runs the driver, so keep it inside the job to
 			// parallelise it too; each job writes its own file.
 			dir := *csvDir
-			run := e.Run
+			run := job.Run
 			job.Run = func(w io.Writer) error {
 				if err := run(w); err != nil {
 					return err
 				}
 				return writeCSV(dir, id)
+			}
+		}
+		if *traceFile != "" && e.Trace != nil {
+			// The traced pass re-runs the driver too; each job fills its own
+			// batch slot so the merge order (and so the output bytes) depend
+			// only on registry order, never on worker scheduling.
+			traced := e.Trace
+			run := job.Run
+			job.Run = func(w io.Writer) error {
+				if err := run(w); err != nil {
+					return err
+				}
+				rec := trace.NewRecorder()
+				if err := traced(trace.Prefixed(rec, id)); err != nil {
+					return fmt.Errorf("trace %s: %w", id, err)
+				}
+				batches[i] = rec.Events()
+				return nil
 			}
 		}
 		work = append(work, job)
@@ -126,10 +148,54 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, batches, timings, *traceWall); err != nil {
+			return err
+		}
+	}
 	if *timing && len(work) > 1 {
 		writeTimingFooter(stdout, timings, *jobs, time.Since(start))
 	}
 	return nil
+}
+
+// writeTrace merges the per-job event batches (in registry order, so the
+// sim-clock portion is byte-identical for every -j) and writes them in the
+// format the file extension selects. With wall enabled, each job also gets
+// a wall-clock runner span carrying its worker and queue wait.
+func writeTrace(path string, batches [][]trace.Event, timings []runner.Result, wall bool) error {
+	events := trace.Merge(batches...)
+	if wall {
+		rec := trace.NewRecorder()
+		for _, r := range timings {
+			if r.Skipped {
+				continue
+			}
+			queued := r.Queued.Seconds()
+			trace.WallSpan(rec, "runner.job", queued, queued+r.Elapsed.Seconds(), r.ID, trace.Args{
+				"worker": r.Worker, "queue_wait_s": queued,
+			})
+		}
+		events = trace.Merge(events, rec.Events())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create trace file: %w", err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, traceFormat(path), events); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return f.Close()
+}
+
+// traceFormat selects the export format from the file extension: .json is
+// a Chrome trace (chrome://tracing, Perfetto), anything else JSONL.
+func traceFormat(path string) string {
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		return trace.FormatChrome
+	}
+	return trace.FormatJSONL
 }
 
 // writeTimingFooter reports per-experiment wall-clock plus the aggregate

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -140,5 +141,78 @@ func TestCSVExport(t *testing.T) {
 	// headline has no series: no file, no error.
 	if _, err := os.Stat(filepath.Join(dir, "headline.csv")); !os.IsNotExist(err) {
 		t.Error("headline.csv should not exist")
+	}
+}
+
+// TestTraceParityAcrossWorkers extends the determinism contract to -trace:
+// the merged event file must be byte-identical whatever -j was, and mixing
+// traced and untraced experiments must not disturb it.
+func TestTraceParityAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient experiments")
+	}
+	const targets = "fig8,fig2,fig11b"
+	record := func(jobs string) []byte {
+		path := filepath.Join(t.TempDir(), "trace.jsonl")
+		var b strings.Builder
+		if err := run([]string{"-j", jobs, "-trace", path, targets}, &b); err != nil {
+			t.Fatalf("-j %s: %v", jobs, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("-j %s: %v", jobs, err)
+		}
+		return data
+	}
+	j1, j8 := record("1"), record("8")
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("trace differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
+	}
+	if len(j1) == 0 {
+		t.Fatal("trace file empty")
+	}
+	// Tracks are namespaced by experiment ID, and the untraced fig2
+	// contributes nothing.
+	for _, line := range strings.Split(strings.TrimSpace(string(j1)), "\n") {
+		if !strings.Contains(line, `"track":"fig8`) && !strings.Contains(line, `"track":"fig11b`) {
+			t.Errorf("event outside the fig8/fig11b namespaces: %s", line)
+		}
+	}
+}
+
+// TestTraceWallSpans checks -trace-wall adds runner telemetry on the wall
+// clock without touching the deterministic sim events.
+func TestTraceWallSpans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var b strings.Builder
+	if err := run([]string{"-j", "2", "-trace", path, "-trace-wall", "fig3,fig8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"runner.job"`) {
+		t.Error("wall spans missing runner.job events")
+	}
+	if !strings.Contains(string(data), `"clock":"wall"`) {
+		t.Error("runner spans should be on the wall clock")
+	}
+}
+
+// TestTraceChromeExtension checks a .json -trace path switches to the
+// Chrome trace format.
+func TestTraceChromeExtension(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var b strings.Builder
+	if err := run([]string{"-trace", path, "fig8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) {
+		t.Error(".json trace is not in the Chrome format")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/pv"
 	"repro/internal/reg"
+	"repro/internal/trace"
 )
 
 // Errors returned by this package.
@@ -191,6 +192,16 @@ type Config struct {
 	// TraceEvery records one trace sample every n steps; 0 disables tracing.
 	TraceEvery int
 
+	// Tracer, when non-nil, receives simulation events (mode transitions,
+	// comparator crossings, controller decisions) keyed to simulated time.
+	// Nil disables event tracing: the hot loop then pays one nil comparison
+	// per potential event and allocates nothing.
+	Tracer trace.Tracer
+
+	// TraceTrack labels this run's events (e.g. the experiment variant) so
+	// multi-run traces keep one timeline lane per run.
+	TraceTrack string
+
 	// StopOnBrownout ends the run at the first processor halt when true;
 	// otherwise the simulation continues (the node may recover).
 	StopOnBrownout bool
@@ -275,6 +286,26 @@ func (s *State) ComparatorThreshold(index int) float64 {
 // Halted reports whether the processor is currently halted.
 func (s *State) Halted() bool { return s.halted }
 
+// Tracing reports whether event tracing is active. Controllers guard
+// argument construction with it so untraced runs allocate nothing.
+func (s *State) Tracing() bool { return s.cfg.Tracer != nil }
+
+// TraceInstant emits an instant event at the current simulated time on the
+// run's track. A nil tracer makes it a no-op.
+func (s *State) TraceInstant(kind string, args trace.Args) {
+	trace.Instant(s.cfg.Tracer, kind, s.time, s.cfg.TraceTrack, args)
+}
+
+// TraceBegin opens a span at the current simulated time.
+func (s *State) TraceBegin(kind string, args trace.Args) {
+	trace.Begin(s.cfg.Tracer, kind, s.time, s.cfg.TraceTrack, args)
+}
+
+// TraceEnd closes a span at the current simulated time.
+func (s *State) TraceEnd(kind string, args trace.Args) {
+	trace.End(s.cfg.Tracer, kind, s.time, s.cfg.TraceTrack, args)
+}
+
 // Processor returns the processor model, for controllers that plan with it.
 func (s *State) Processor() *cpu.Processor { return s.cfg.Proc }
 
@@ -347,9 +378,9 @@ func (s *Simulator) Run() (*Outcome, error) {
 	st := &s.state
 	cfg := &st.cfg
 
-	var trace *Trace
+	var waveform *Trace
 	if cfg.TraceEvery > 0 {
-		trace = &Trace{}
+		waveform = &Trace{}
 	}
 
 	// Initialise comparator states from the starting voltage.
@@ -358,6 +389,11 @@ func (s *Simulator) Run() (*Outcome, error) {
 		st.compAbove[i] = v0 > c.Threshold
 	}
 
+	if st.Tracing() {
+		st.TraceBegin("circuit.run", trace.Args{
+			"step_s": cfg.Step, "max_time_s": cfg.MaxTime, "vcap0_v": v0,
+		})
+	}
 	cfg.Controller.Init(st)
 
 	prevBypass := st.bypass
@@ -378,6 +414,11 @@ func (s *Simulator) Run() (*Outcome, error) {
 				kind = EventBypassOff
 			}
 			st.outcome.Events = append(st.outcome.Events, Event{Time: st.time, Kind: kind})
+			if st.Tracing() {
+				st.TraceInstant("circuit."+kind.String(), trace.Args{
+					"vcap_v": vcap, "supply_v": st.effSupply,
+				})
+			}
 			prevBypass = st.bypass
 		}
 		if st.halted != prevHalted {
@@ -386,6 +427,11 @@ func (s *Simulator) Run() (*Outcome, error) {
 				kind = EventResume
 			}
 			st.outcome.Events = append(st.outcome.Events, Event{Time: st.time, Kind: kind})
+			if st.Tracing() {
+				st.TraceInstant("circuit."+kind.String(), trace.Args{
+					"vcap_v": vcap, "cycles_done": st.cyclesDone,
+				})
+			}
 			prevHalted = st.halted
 		}
 
@@ -424,8 +470,8 @@ func (s *Simulator) Run() (*Outcome, error) {
 			st.outcome.BrownoutTime = st.time
 		}
 
-		if trace != nil && k%cfg.TraceEvery == 0 {
-			trace.Samples = append(trace.Samples, Sample{
+		if waveform != nil && k%cfg.TraceEvery == 0 {
+			waveform.Samples = append(waveform.Samples, Sample{
 				Time:       st.time,
 				CapVoltage: cfg.Cap.Voltage(),
 				Supply:     st.effSupply,
@@ -443,6 +489,11 @@ func (s *Simulator) Run() (*Outcome, error) {
 		if cfg.JobCycles > 0 && st.cyclesDone >= cfg.JobCycles {
 			st.outcome.Completed = true
 			st.outcome.CompletionTime = st.time + cfg.Step
+			if st.Tracing() {
+				st.TraceInstant("circuit.complete", trace.Args{
+					"cycles_done": st.cyclesDone, "t_s": st.outcome.CompletionTime,
+				})
+			}
 			break
 		}
 		if cfg.StopOnBrownout && st.outcome.BrownedOut {
@@ -452,6 +503,9 @@ func (s *Simulator) Run() (*Outcome, error) {
 			st.outcome.Stopped = true
 			st.outcome.StopReason = st.stopReason
 			st.outcome.StoppedAt = st.time
+			if st.Tracing() {
+				st.TraceInstant("circuit.stop", trace.Args{"reason": st.stopReason})
+			}
 			break
 		}
 	}
@@ -459,7 +513,13 @@ func (s *Simulator) Run() (*Outcome, error) {
 	st.outcome.Duration = st.time + cfg.Step
 	st.outcome.CyclesDone = st.cyclesDone
 	st.outcome.FinalCapVoltage = cfg.Cap.Voltage()
-	st.outcome.Trace = trace
+	st.outcome.Trace = waveform
+	if st.Tracing() {
+		st.TraceEnd("circuit.run", trace.Args{
+			"duration_s": st.outcome.Duration, "cycles_done": st.cyclesDone,
+			"harvested_j": st.outcome.EnergyHarvested, "final_vcap_v": st.outcome.FinalCapVoltage,
+		})
+	}
 	return &st.outcome, nil
 }
 
@@ -549,15 +609,28 @@ func (st *State) fireComparators(v float64) {
 		if st.compAbove[i] {
 			if v < c.Threshold-half {
 				st.compAbove[i] = false
+				st.traceThreshold(i, c.Threshold, false, v)
 				st.cfg.Controller.OnThreshold(st, ThresholdEvent{
 					Index: i, Threshold: c.Threshold, Rising: false, Time: st.time,
 				})
 			}
 		} else if v > c.Threshold+half {
 			st.compAbove[i] = true
+			st.traceThreshold(i, c.Threshold, true, v)
 			st.cfg.Controller.OnThreshold(st, ThresholdEvent{
 				Index: i, Threshold: c.Threshold, Rising: true, Time: st.time,
 			})
 		}
 	}
+}
+
+// traceThreshold emits a comparator-crossing event when tracing is on.
+func (st *State) traceThreshold(index int, threshold float64, rising bool, v float64) {
+	if !st.Tracing() {
+		return
+	}
+	st.TraceInstant("circuit.threshold", trace.Args{
+		"comparator": float64(index), "threshold_v": threshold,
+		"rising": rising, "vcap_v": v,
+	})
 }

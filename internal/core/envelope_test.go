@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/trace"
+)
+
+func TestEnvelopeNeverRunnable(t *testing.T) {
+	m := testManager()
+	// Light so faint even direct connection cannot clock the core.
+	env := m.Envelope(1e-9, 1e-6, 8)
+	if len(env) != 8 {
+		t.Fatalf("got %d points", len(env))
+	}
+	for _, ep := range env {
+		if ep.Runnable {
+			t.Errorf("irr=%g marked runnable", ep.Irradiance)
+		}
+	}
+	if b := BypassBoundary(env); b != 0 {
+		t.Errorf("never-runnable envelope boundary = %g, want 0", b)
+	}
+}
+
+func TestEnvelopeAllBypass(t *testing.T) {
+	m := testManager()
+	// Sweep entirely below the analytic crossover: every runnable point
+	// should choose direct connection, and the boundary is the brightest
+	// runnable level in the sweep.
+	crossover := m.System().BypassCrossover(m.Regulator(), 0.02, 1.0)
+	env := m.Envelope(0.02, crossover*0.9, 12)
+	if len(env) == 0 {
+		t.Fatal("empty envelope")
+	}
+	best := 0.0
+	for _, ep := range env {
+		if !ep.Runnable {
+			continue
+		}
+		if !ep.Bypass {
+			t.Errorf("irr=%.3f regulated below the crossover %.3f", ep.Irradiance, crossover)
+		}
+		if ep.Irradiance > best {
+			best = ep.Irradiance
+		}
+	}
+	if best == 0 {
+		t.Fatal("no runnable points below the crossover")
+	}
+	if b := BypassBoundary(env); b != best {
+		t.Errorf("boundary = %g, want brightest bypass level %g", b, best)
+	}
+}
+
+// TestBypassBoundaryMonotone is the property behind BypassBoundary: the
+// holistic bypass decision is monotone in irradiance (direct connection
+// wins below the crossover, regulation above), so among runnable envelope
+// points sorted by irradiance the bypass points form a prefix — and the
+// boundary is therefore order-independent: any permutation of the sweep
+// yields the same value.
+func TestBypassBoundaryMonotone(t *testing.T) {
+	m := testManager()
+	env := m.Envelope(0.01, 1.0, 60)
+
+	sorted := append([]EnvelopePoint(nil), env...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Irradiance < sorted[j].Irradiance })
+	seenRegulated := false
+	for _, ep := range sorted {
+		if !ep.Runnable {
+			continue
+		}
+		if !ep.Bypass {
+			seenRegulated = true
+		} else if seenRegulated {
+			t.Fatalf("bypass at irr=%.3f above a regulated level: decision not monotone", ep.Irradiance)
+		}
+	}
+
+	want := BypassBoundary(env)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]EnvelopePoint(nil), env...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if got := BypassBoundary(perm); got != want {
+			t.Fatalf("trial %d: boundary %g after shuffle, want %g", trial, got, want)
+		}
+	}
+}
+
+func TestPlanPerformanceEmitsPlanEvent(t *testing.T) {
+	rec := trace.NewRecorder()
+	m := testManager().WithTracer(rec)
+	if _, err := m.PlanPerformance(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PlanPerformance(0.1); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.Kind != "core.plan" || ev.Clock != trace.ClockSim {
+			t.Errorf("unexpected event %+v", ev)
+		}
+	}
+	if b, ok := events[1].Args["bypass"].(bool); !ok || !b {
+		t.Errorf("dim plan event should carry bypass=true, got %v", events[1].Args["bypass"])
+	}
+}
+
+func TestRunConfigTracerOverridesManager(t *testing.T) {
+	mgrRec := trace.NewRecorder()
+	runRec := trace.NewRecorder()
+	m := testManager().WithTracer(mgrRec)
+	storage, err := cap.New(100e-6, 1.09, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunDeadlineJob(DeadlineRunConfig{
+		Cap:        storage,
+		Irradiance: circuit.ConstantIrradiance(1.0),
+		Cycles:     4e6,
+		Deadline:   20e-3,
+		Tracer:     runRec,
+		TraceTrack: "override",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcome.Completed {
+		t.Fatalf("job did not complete")
+	}
+	if runRec.Len() == 0 {
+		t.Fatal("override tracer saw no events")
+	}
+	for _, ev := range runRec.Events() {
+		if ev.Track != "override" {
+			t.Errorf("event track = %q, want override", ev.Track)
+		}
+	}
+	if mgrRec.Len() != 0 {
+		t.Errorf("manager tracer saw %d events despite the override", mgrRec.Len())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mppt"
 	"repro/internal/reg"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Manager is the holistic energy-management runtime: it plans operating
@@ -17,13 +18,39 @@ import (
 // deadline scheduling (Sec. VI.B). It is the public entry point the
 // examples and the system demonstration (Fig. 11b) build on.
 type Manager struct {
-	sys *System
-	r   reg.Regulator
+	sys    *System
+	r      reg.Regulator
+	tracer trace.Tracer
 }
 
 // NewManager returns a Manager over the system and regulator.
 func NewManager(sys *System, r reg.Regulator) *Manager {
 	return &Manager{sys: sys, r: r}
+}
+
+// WithTracer attaches an event tracer to the manager's planning decisions
+// and to the simulations it launches (unless a run config overrides it).
+// It returns the manager for chaining; a nil tracer disables tracing.
+func (m *Manager) WithTracer(t trace.Tracer) *Manager {
+	m.tracer = t
+	return m
+}
+
+// runTracer resolves a run config's tracer: an explicit override wins,
+// otherwise the manager's tracer applies.
+func (m *Manager) runTracer(override trace.Tracer) trace.Tracer {
+	if override != nil {
+		return override
+	}
+	return m.tracer
+}
+
+// orTrack returns track, or fallback when track is empty.
+func orTrack(track, fallback string) string {
+	if track != "" {
+		return track
+	}
+	return fallback
 }
 
 // System returns the managed system.
@@ -37,6 +64,19 @@ func (m *Manager) Regulator() reg.Regulator { return m.r }
 // when it wins, direct connection otherwise.
 func (m *Manager) PlanPerformance(irradiance float64) (Point, error) {
 	d := m.sys.DecideBypass(m.r, irradiance)
+	if trace.On(m.tracer) {
+		// Planning is timeless: plan events sit at t=0 on the sim clock and
+		// rely on sequence order (e.g. an Envelope sweep emits one per level).
+		pt := d.Regulated
+		if d.Bypass {
+			pt = d.Unregulated
+		}
+		trace.Instant(m.tracer, "core.plan", 0, "", trace.Args{
+			"irradiance": irradiance, "bypass": d.Bypass,
+			"supply_v": pt.Supply, "frequency_hz": pt.Frequency,
+			"load_w": pt.LoadPower,
+		})
+	}
 	if d.Bypass {
 		if d.Unregulated.Frequency <= 0 {
 			return d.Unregulated, fmt.Errorf("%w: no operation at irradiance %.3g", ErrNoFeasiblePoint, irradiance)
@@ -99,6 +139,12 @@ type TrackedRunConfig struct {
 
 	// ClockLevels quantises the clock generator; empty means continuous.
 	ClockLevels []float64
+
+	// Tracer receives simulation events; nil falls back to the manager's
+	// tracer (WithTracer), and nil there disables event tracing.
+	Tracer trace.Tracer
+	// TraceTrack labels this run's events; empty selects "tracked".
+	TraceTrack string
 }
 
 // TrackedResult is the outcome of a tracked run.
@@ -139,6 +185,8 @@ func (m *Manager) RunTracked(cfg TrackedRunConfig) (*TrackedResult, error) {
 		MaxTime:     cfg.Duration,
 		TraceEvery:  cfg.TraceEvery,
 		ClockLevels: cfg.ClockLevels,
+		Tracer:      m.runTracer(cfg.Tracer),
+		TraceTrack:  orTrack(cfg.TraceTrack, "tracked"),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("assemble tracked run: %w", err)
@@ -176,6 +224,12 @@ type DeadlineRunConfig struct {
 
 	// ClockLevels quantises the clock generator; empty means continuous.
 	ClockLevels []float64
+
+	// Tracer receives simulation events; nil falls back to the manager's
+	// tracer (WithTracer), and nil there disables event tracing.
+	Tracer trace.Tracer
+	// TraceTrack labels this run's events; empty selects "deadline".
+	TraceTrack string
 }
 
 // DeadlineResult is the outcome of a deadline-constrained run.
@@ -217,6 +271,8 @@ func (m *Manager) RunDeadlineJob(cfg DeadlineRunConfig) (*DeadlineResult, error)
 		TraceEvery:     cfg.TraceEvery,
 		StopOnBrownout: cfg.StopOnBrownout,
 		ClockLevels:    cfg.ClockLevels,
+		Tracer:         m.runTracer(cfg.Tracer),
+		TraceTrack:     orTrack(cfg.TraceTrack, "deadline"),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("assemble deadline run: %w", err)

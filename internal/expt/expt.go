@@ -16,6 +16,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/pv"
 	"repro/internal/reg"
+	"repro/internal/trace"
 )
 
 // Default experiment geometry.
@@ -87,6 +88,10 @@ type Experiment struct {
 	// series. nil for experiments that produce summary numbers only; see
 	// NoSeriesIDs for the documented list.
 	Series func() ([]plot.Series, error)
+	// Trace re-runs the experiment with the tracer threaded through its
+	// simulations, discarding the report. nil for experiments with no
+	// traced path (the trace layer maps it to ErrNoTrace); see TracedIDs.
+	Trace func(tr trace.Tracer) error
 }
 
 // reporter is anything that can write its report.
@@ -133,11 +138,14 @@ func registryList() []Experiment {
 		entry("fig6b", Fig6b, func(r *Fig6bResult) []plot.Series { return r.Series }),
 		entry("fig7a", infallible(Fig7a), func(r *Fig7aResult) []plot.Series { return r.Series }),
 		entry("fig7b", Fig7b, func(r *Fig7bResult) []plot.Series { return r.Series }),
-		entry("fig8", Fig8, func(r *Fig8Result) []plot.Series { return r.Series }),
+		tracedEntry(entry("fig8", Fig8, func(r *Fig8Result) []plot.Series { return r.Series }),
+			func(tr trace.Tracer) error { _, err := fig8(tr); return err }),
 		entry("fig9a", Fig9a, func(r *Fig9aResult) []plot.Series { return r.Series }),
-		entry("fig9b", Fig9b, func(r *Fig9bResult) []plot.Series { return r.Series }),
+		tracedEntry(entry("fig9b", Fig9b, func(r *Fig9bResult) []plot.Series { return r.Series }),
+			func(tr trace.Tracer) error { _, err := fig9b(tr); return err }),
 		entry("fig11a", infallible(Fig11a), func(r *Fig11aResult) []plot.Series { return r.Series }),
-		entry("fig11b", Fig11b, func(r *Fig11bResult) []plot.Series { return r.Series }),
+		tracedEntry(entry("fig11b", Fig11b, func(r *Fig11bResult) []plot.Series { return r.Series }),
+			func(tr trace.Tracer) error { _, err := fig11b(tr); return err }),
 		// Summary-only experiments (nil Series => ErrNoSeries on export).
 		entry[*HeadlineResult]("headline", infallible(Headline), nil),
 
@@ -147,7 +155,8 @@ func registryList() []Experiment {
 		entry[*ExtCornersResult]("ext-corners", ExtCorners, nil),
 		entry[*ExtDomainsResult]("ext-domains", ExtDomains, nil),
 		entry[*ExtWeatherResult]("ext-weather", ExtWeather, nil),
-		entry[*ExtIntermittentResult]("ext-intermittent", ExtIntermittent, nil),
+		tracedEntry(entry[*ExtIntermittentResult]("ext-intermittent", ExtIntermittent, nil),
+			func(tr trace.Tracer) error { _, err := extIntermittent(tr); return err }),
 		entry[*ExtFederationResult]("ext-federation", ExtFederation, nil),
 		entry[*ExtShadingResult]("ext-shading", ExtShading, nil),
 		entry[*ExtDutyCycleResult]("ext-dutycycle", ExtDutyCycle, nil),

@@ -16,7 +16,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/domains"
-	"repro/internal/intermittent"
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/sched"
@@ -216,52 +215,10 @@ type ExtIntermittentResult struct {
 }
 
 // ExtIntermittent runs a 6 M-cycle task on 3 ms-light/3 ms-dark power with
-// three checkpoint disciplines.
+// three checkpoint disciplines. The body lives in traced.go
+// (extIntermittent) so the traced registry path can reuse it.
 func ExtIntermittent() (*ExtIntermittentResult, error) {
-	blink := func(t float64) float64 {
-		if math.Mod(t, 6e-3) < 3e-3 {
-			return 1.0
-		}
-		return 0
-	}
-	res := &ExtIntermittentResult{}
-	policies := []intermittent.Policy{
-		intermittent.NeverPolicy{},
-		intermittent.PeriodicPolicy{Interval: 0.4e6},
-		intermittent.VoltageTriggeredPolicy{Threshold: 0.70, MinUncommitted: 1e4},
-	}
-	for _, pol := range policies {
-		e := &intermittent.Executor{
-			Task:   intermittent.Task{TotalCycles: 6e6, StateBytes: 1024},
-			Policy: pol,
-			Supply: 0.50,
-		}
-		storage, err := cap.New(47e-6, 1.0, 2.0)
-		if err != nil {
-			return nil, err
-		}
-		sim, err := circuit.New(circuit.Config{
-			Cell:       pv.NewCell(),
-			Proc:       cpu.NewProcessor(),
-			Reg:        reg.NewSC(),
-			Cap:        storage,
-			Irradiance: blink,
-			Controller: e,
-			Step:       2e-6,
-			MaxTime:    800e-3,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if _, err := sim.Run(); err != nil {
-			return nil, fmt.Errorf("policy %s: %w", pol.Name(), err)
-		}
-		res.Policies = append(res.Policies, pol.Name())
-		res.Completed = append(res.Completed, e.Stats.Completed)
-		res.Overheads = append(res.Overheads, e.Stats.CheckpointCycles+e.Stats.RestoreCycles)
-		res.Failures = append(res.Failures, e.Stats.Failures)
-	}
-	return res, nil
+	return extIntermittent(nil)
 }
 
 // Report implements reporter.

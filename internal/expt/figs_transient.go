@@ -10,6 +10,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/pv"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Transient scenario parameters shared by Fig. 9b/11b: a recognition job
@@ -41,10 +42,14 @@ type Fig8Result struct {
 
 // Fig8 steps the light from full sun to overcast and lets the tracker
 // re-estimate the input power from the V1->V2 crossing time.
-func Fig8() (*Fig8Result, error) {
+func Fig8() (*Fig8Result, error) { return fig8(nil) }
+
+// fig8 is Fig8 with an optional event tracer attached to the manager and
+// the tracked run (nil disables tracing at zero cost).
+func fig8(tracer trace.Tracer) (*Fig8Result, error) {
 	c := DefaultComponents()
 	sys := core.NewSystem(c.Cell, c.Proc)
-	mgr := core.NewManager(sys, c.SC)
+	mgr := core.NewManager(sys, c.SC).WithTracer(tracer)
 
 	// The tracking demo starts at full sun so the dimming step forces a
 	// large, estimable discharge through both comparator thresholds.
@@ -72,6 +77,7 @@ func Fig8() (*Fig8Result, error) {
 		Duration:   60e-3,
 		Step:       demoStep,
 		TraceEvery: 50,
+		TraceTrack: "fig8",
 	})
 	if err != nil {
 		return nil, err
@@ -167,8 +173,10 @@ type VariantOutcome struct {
 	Trace           *circuit.Trace
 }
 
-// runVariant executes one policy under the shared dimming scenario.
-func runVariant(name string, sprint float64, bypass bool, traceEvery int) (VariantOutcome, error) {
+// runVariant executes one policy under the shared dimming scenario. The
+// tracer (nil to disable) records the run's events on a track named after
+// the variant, so multi-variant figures keep their runs distinguishable.
+func runVariant(name string, sprint float64, bypass bool, traceEvery int, tracer trace.Tracer) (VariantOutcome, error) {
 	c := DefaultComponents()
 	sys := core.NewSystem(c.Cell, c.Proc)
 	mgr := core.NewManager(sys, c.Buck) // the test chip integrates the buck
@@ -192,6 +200,8 @@ func runVariant(name string, sprint float64, bypass bool, traceEvery int) (Varia
 		TraceEvery:     traceEvery,
 		StopOnBrownout: true,
 		StopOnDropout:  !bypass,
+		Tracer:         tracer,
+		TraceTrack:     name,
 	})
 	if err != nil {
 		return VariantOutcome{}, fmt.Errorf("run %s: %w", name, err)
@@ -245,20 +255,24 @@ type Fig9bResult struct {
 const fig9bTraceEvery = 100
 
 // Fig9b runs the four policy variants under the dimming scenario.
-func Fig9b() (*Fig9bResult, error) {
-	baseline, err := runVariant("constant", 0, false, fig9bTraceEvery)
+func Fig9b() (*Fig9bResult, error) { return fig9b(nil) }
+
+// fig9b is Fig9b with an optional event tracer; each variant records onto
+// its own track.
+func fig9b(tracer trace.Tracer) (*Fig9bResult, error) {
+	baseline, err := runVariant("constant", 0, false, fig9bTraceEvery, tracer)
 	if err != nil {
 		return nil, err
 	}
-	sprintOnly, err := runVariant("sprint", demoSprint, false, fig9bTraceEvery)
+	sprintOnly, err := runVariant("sprint", demoSprint, false, fig9bTraceEvery, tracer)
 	if err != nil {
 		return nil, err
 	}
-	bypassOnly, err := runVariant("bypass", 0, true, fig9bTraceEvery)
+	bypassOnly, err := runVariant("bypass", 0, true, fig9bTraceEvery, tracer)
 	if err != nil {
 		return nil, err
 	}
-	proposed, err := runVariant("sprint+bypass", demoSprint, true, fig9bTraceEvery)
+	proposed, err := runVariant("sprint+bypass", demoSprint, true, fig9bTraceEvery, tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -322,12 +336,16 @@ type Fig11bResult struct {
 }
 
 // Fig11b runs baseline and proposed policies with waveform tracing.
-func Fig11b() (*Fig11bResult, error) {
-	baseline, err := runVariant("w/o sprinting", 0, false, 100)
+func Fig11b() (*Fig11bResult, error) { return fig11b(nil) }
+
+// fig11b is Fig11b with an optional event tracer; each policy records onto
+// its own track.
+func fig11b(tracer trace.Tracer) (*Fig11bResult, error) {
+	baseline, err := runVariant("w/o sprinting", 0, false, 100, tracer)
 	if err != nil {
 		return nil, err
 	}
-	proposed, err := runVariant("w/ sprinting+bypass", demoSprint, true, 100)
+	proposed, err := runVariant("w/ sprinting+bypass", demoSprint, true, 100, tracer)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,133 @@
+// Traced experiment runners: the registry entries that can re-run with an
+// event tracer attached (internal/trace), the public export surface
+// (TraceEvents / RenderTrace), and the traced driver bodies that would
+// otherwise force a trace import into files with conflicting local names.
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/intermittent"
+	"repro/internal/pv"
+	"repro/internal/reg"
+	"repro/internal/trace"
+)
+
+// ErrNoTrace indicates an experiment with no traced runner: it either has
+// no transient simulation at all (the analytic figures) or nothing worth
+// event-tracing. See TracedIDs for the experiments that do emit events.
+var ErrNoTrace = errors.New("expt: experiment emits no trace events")
+
+// tracedEntry attaches a traced runner to a registry entry. run re-executes
+// the experiment with the tracer threaded through its simulations; the
+// result is discarded — callers wanting numbers use Run, callers wanting
+// events use this.
+func tracedEntry(e Experiment, run func(tr trace.Tracer) error) Experiment {
+	e.Trace = run
+	return e
+}
+
+// TracedIDs returns, in stable order, the experiments with traced runners.
+// Like NoSeriesIDs it is derived from the registry, never hand-maintained.
+func TracedIDs() []string {
+	var ids []string
+	for _, e := range registryList() {
+		if e.Trace != nil {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TraceEvents re-runs the experiment with a recorder attached and returns
+// its events. The events are deterministic: they carry simulated time and
+// sequence numbers only, so equal IDs always return equal events. Unknown
+// IDs return ErrUnknown; untraced experiments ErrNoTrace.
+func TraceEvents(id string) ([]trace.Event, error) {
+	e, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	if e.Trace == nil {
+		return nil, ErrNoTrace
+	}
+	rec := trace.NewRecorder()
+	if err := e.Trace(rec); err != nil {
+		return nil, err
+	}
+	return rec.Events(), nil
+}
+
+// RenderTrace re-runs the experiment and returns its events rendered in
+// the given trace export format (trace.FormatJSONL or trace.FormatChrome).
+func RenderTrace(id, format string) ([]byte, error) {
+	events, err := TraceEvents(id)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, format, events); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// extIntermittent is the ExtIntermittent driver body with an optional
+// tracer; each checkpoint policy records onto its own track. It lives here
+// (not figs_ext.go) because that file has a local named `trace`.
+func extIntermittent(tracer trace.Tracer) (*ExtIntermittentResult, error) {
+	blink := func(t float64) float64 {
+		if math.Mod(t, 6e-3) < 3e-3 {
+			return 1.0
+		}
+		return 0
+	}
+	res := &ExtIntermittentResult{}
+	policies := []intermittent.Policy{
+		intermittent.NeverPolicy{},
+		intermittent.PeriodicPolicy{Interval: 0.4e6},
+		intermittent.VoltageTriggeredPolicy{Threshold: 0.70, MinUncommitted: 1e4},
+	}
+	for _, pol := range policies {
+		e := &intermittent.Executor{
+			Task:   intermittent.Task{TotalCycles: 6e6, StateBytes: 1024},
+			Policy: pol,
+			Supply: 0.50,
+		}
+		storage, err := cap.New(47e-6, 1.0, 2.0)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := circuit.New(circuit.Config{
+			Cell:       pv.NewCell(),
+			Proc:       cpu.NewProcessor(),
+			Reg:        reg.NewSC(),
+			Cap:        storage,
+			Irradiance: blink,
+			Controller: e,
+			Step:       2e-6,
+			MaxTime:    800e-3,
+			Tracer:     tracer,
+			TraceTrack: pol.Name(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(); err != nil {
+			return nil, fmt.Errorf("policy %s: %w", pol.Name(), err)
+		}
+		res.Policies = append(res.Policies, pol.Name())
+		res.Completed = append(res.Completed, e.Stats.Completed)
+		res.Overheads = append(res.Overheads, e.Stats.CheckpointCycles+e.Stats.RestoreCycles)
+		res.Failures = append(res.Failures, e.Stats.Failures)
+	}
+	return res, nil
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/trace"
 )
 
 // Errors returned by this package.
@@ -178,6 +179,22 @@ const (
 	modeHibernating
 )
 
+// String names the mode for trace events.
+func (m mode) String() string {
+	switch m {
+	case modeRestoring:
+		return "restoring"
+	case modeWorking:
+		return "working"
+	case modeCheckpointing:
+		return "checkpointing"
+	case modeHibernating:
+		return "hibernating"
+	default:
+		return "mode?"
+	}
+}
+
 // Stats aggregates an execution's accounting. All cycle quantities are in
 // clock cycles.
 type Stats struct {
@@ -240,8 +257,28 @@ func (e *Executor) Init(s *circuit.State) {
 	// A fresh boot has nothing to restore.
 	e.mode = modeWorking
 	e.lastCycles = s.CyclesDone()
+	if s.Tracing() {
+		s.TraceInstant("intermittent.mode", trace.Args{
+			"mode": e.mode.String(), "policy": e.Policy.Name(),
+			"task_cycles": e.Task.TotalCycles, "state_bytes": float64(e.Task.StateBytes),
+		})
+	}
 	s.SetBypass(false)
 	e.command(s)
+}
+
+// setMode transitions the state machine, emitting the mode event that
+// feeds the time-in-mode table when tracing is on.
+func (e *Executor) setMode(s *circuit.State, m mode) {
+	if e.mode == m {
+		return
+	}
+	e.mode = m
+	if s.Tracing() {
+		s.TraceInstant("intermittent.mode", trace.Args{
+			"mode": m.String(), "committed": e.Stats.Committed, "volatile": e.Stats.Volatile,
+		})
+	}
 }
 
 // command applies the configured DVFS point, handling dropout.
@@ -284,13 +321,13 @@ func (e *Executor) OnStep(s *circuit.State) {
 
 	halted := s.Halted()
 	if halted && !e.wasHalted {
-		e.powerFailure()
+		e.powerFailure(s)
 	}
 	e.wasHalted = halted
 
 	if e.mode == modeHibernating {
 		if h, ok := e.Policy.(Hibernator); !ok || !h.ShouldSleep(s.CapVoltage()) {
-			e.mode = modeWorking
+			e.setMode(s, modeWorking)
 		}
 	}
 	if !halted && executed > 0 {
@@ -300,12 +337,18 @@ func (e *Executor) OnStep(s *circuit.State) {
 }
 
 // powerFailure destroys volatile state and schedules a restore.
-func (e *Executor) powerFailure() {
+func (e *Executor) powerFailure(s *circuit.State) {
 	e.Stats.Failures++
 	if obs, ok := e.Policy.(FailureObserver); ok {
 		work := e.Stats.Committed + e.Stats.Volatile
 		obs.OnFailure(work - e.workAtFailure)
 		e.workAtFailure = work - e.Stats.Volatile // volatile is about to be lost
+	}
+	if s.Tracing() {
+		s.TraceInstant("intermittent.failure", trace.Args{
+			"lost_cycles": e.Stats.Volatile, "committed": e.Stats.Committed,
+			"torn": e.mode == modeCheckpointing,
+		})
 	}
 	e.Stats.Lost += e.Stats.Volatile
 	e.Stats.Volatile = 0
@@ -318,11 +361,11 @@ func (e *Executor) powerFailure() {
 	e.phaseCycles = 0
 	if e.everCommitted {
 		e.phaseNeeded = e.Memory.RestoreCycles(e.Task.StateBytes)
-		e.mode = modeRestoring
+		e.setMode(s, modeRestoring)
 	} else {
 		// Nothing in NVM yet: reboot straight into work from zero.
 		e.phaseNeeded = 0
-		e.mode = modeWorking
+		e.setMode(s, modeWorking)
 	}
 }
 
@@ -336,7 +379,7 @@ func (e *Executor) consume(s *circuit.State, executed float64) {
 			e.Stats.RestoreCycles += used
 			executed -= used
 			if e.phaseCycles >= e.phaseNeeded {
-				e.mode = modeWorking
+				e.setMode(s, modeWorking)
 			}
 
 		case modeWorking:
@@ -346,7 +389,7 @@ func (e *Executor) consume(s *circuit.State, executed float64) {
 			executed -= used
 			workDone := e.Stats.Committed+e.Stats.Volatile >= e.Task.TotalCycles
 			if workDone || e.Policy.ShouldCheckpoint(e.Stats.Volatile, s.CapVoltage()) {
-				e.mode = modeCheckpointing
+				e.setMode(s, modeCheckpointing)
 				e.phaseCycles = 0
 				e.phaseNeeded = e.Memory.CheckpointCycles(e.Task.StateBytes)
 				e.finalCommit = workDone
@@ -367,10 +410,21 @@ func (e *Executor) consume(s *circuit.State, executed float64) {
 				e.Stats.Volatile = 0
 				e.Stats.Checkpoints++
 				e.everCommitted = true
-				e.mode = modeWorking
+				if s.Tracing() {
+					s.TraceInstant("intermittent.checkpoint", trace.Args{
+						"committed": e.Stats.Committed, "cost_cycles": e.phaseNeeded,
+						"final": e.finalCommit, "n": float64(e.Stats.Checkpoints),
+					})
+				}
+				e.setMode(s, modeWorking)
 				if e.finalCommit {
 					e.Stats.Completed = true
 					e.Stats.CompletedAt = s.Time()
+					if s.Tracing() {
+						s.TraceInstant("intermittent.complete", trace.Args{
+							"committed": e.Stats.Committed, "failures": float64(e.Stats.Failures),
+						})
+					}
 					s.Stop("task committed")
 					return
 				}
@@ -378,7 +432,7 @@ func (e *Executor) consume(s *circuit.State, executed float64) {
 				// hibernate until it recovers rather than burning the last
 				// charge on work that the next failure will destroy.
 				if h, ok := e.Policy.(Hibernator); ok && h.ShouldSleep(s.CapVoltage()) {
-					e.mode = modeHibernating
+					e.setMode(s, modeHibernating)
 					return
 				}
 			}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/pv"
+	"repro/internal/trace"
 )
 
 // Errors returned by this package.
@@ -173,6 +174,13 @@ func (tr *Tracker) Init(s *circuit.State) {
 		idx = len(tr.Table.entries) - 1
 	}
 	tr.target = tr.Table.entries[idx]
+	if s.Tracing() {
+		s.TraceInstant("mppt.init", trace.Args{
+			"irradiance": tr.target.Irradiance, "mpp_v": tr.target.MPPVoltage,
+			"supply_v": tr.target.Supply, "frequency_hz": tr.target.Frequency,
+			"bypass": tr.target.Bypass, "table_rows": float64(tr.Table.Len()),
+		})
+	}
 	tr.apply(s)
 }
 
@@ -226,7 +234,13 @@ func (tr *Tracker) OnThreshold(s *circuit.State, ev circuit.ThresholdEvent) {
 			tr.windowOpen = true
 			tr.drawAccum = 0
 			tr.drawSamples = 0
+			if s.Tracing() {
+				s.TraceBegin("mppt.window", trace.Args{"v1": ev.Threshold})
+			}
 		} else {
+			if tr.windowOpen && s.Tracing() {
+				s.TraceEnd("mppt.window", trace.Args{"canceled": true})
+			}
 			tr.windowOpen = false
 		}
 	case tr.V2Index:
@@ -241,11 +255,20 @@ func (tr *Tracker) OnThreshold(s *circuit.State, ev circuit.ThresholdEvent) {
 		}
 		v1 := v1Threshold(s, tr.V1Index)
 		v2 := v1Threshold(s, tr.V2Index)
+		if s.Tracing() {
+			s.TraceEnd("mppt.window", trace.Args{"elapsed_s": elapsed, "draw_w": draw})
+		}
 		pin, err := EstimateInputPower(s.Capacitor().Capacitance(), v1, v2, elapsed, draw)
 		if err != nil {
 			return
 		}
 		tr.Estimates = append(tr.Estimates, pin)
+		if s.Tracing() {
+			// The Eq. 6-7 input-power estimate, whether or not it retargets.
+			s.TraceInstant("mppt.estimate", trace.Args{
+				"pin_w": pin, "elapsed_s": elapsed, "draw_w": draw,
+			})
+		}
 		entry, err := tr.Table.Lookup(pin)
 		if err != nil {
 			return
@@ -253,6 +276,14 @@ func (tr *Tracker) OnThreshold(s *circuit.State, ev circuit.ThresholdEvent) {
 		if entry != tr.target {
 			tr.target = entry
 			tr.Retargets++
+			if s.Tracing() {
+				// A LUT re-track decision: the plan switched rows.
+				s.TraceInstant("mppt.retrack", trace.Args{
+					"pin_w": pin, "irradiance": entry.Irradiance,
+					"mpp_v": entry.MPPVoltage, "supply_v": entry.Supply,
+					"frequency_hz": entry.Frequency, "bypass": entry.Bypass,
+				})
+			}
 		}
 		tr.apply(s)
 	}

@@ -33,6 +33,15 @@ type Result struct {
 	Err     error         // the job's error, nil on success
 	Elapsed time.Duration // the job's own wall-clock time
 	Skipped bool          // true when the pool stopped before running it
+
+	// Worker identifies the pool goroutine that ran the job (0-based);
+	// -1 for skipped jobs. Worker identity is scheduling-dependent and
+	// must never leak into deterministic output.
+	Worker int
+	// Queued is how long the job sat in the queue before a worker picked
+	// it up (all jobs enqueue when the pool starts); wall-clock and, like
+	// Worker, only for telemetry.
+	Queued time.Duration
 }
 
 // Run executes the jobs on up to `workers` goroutines and returns one
@@ -90,14 +99,15 @@ func pool(jobs []Job, workers int, results []Result, stop *atomic.Bool) []chan s
 		idx <- i
 	}
 	close(idx)
+	poolStart := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
 				if stop != nil && stop.Load() {
-					results[i] = Result{ID: jobs[i].ID, Skipped: true}
+					results[i] = Result{ID: jobs[i].ID, Skipped: true, Worker: -1}
 					close(done[i])
 					continue
 				}
@@ -109,10 +119,12 @@ func pool(jobs []Job, workers int, results []Result, stop *atomic.Bool) []chan s
 					Output:  buf.Bytes(),
 					Err:     err,
 					Elapsed: time.Since(start),
+					Worker:  worker,
+					Queued:  start.Sub(poolStart),
 				}
 				close(done[i])
 			}
-		}()
+		}(w)
 	}
 	if stop == nil {
 		// Run: block until everything finished.

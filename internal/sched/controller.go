@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/circuit"
+	"repro/internal/trace"
 )
 
 // DeadlineController drives the transient simulator through a deadline-
@@ -41,6 +42,9 @@ type DeadlineController struct {
 	// DroppedOutAt records when the regulator first failed to sustain the
 	// required supply (s); negative if it never happened.
 	DroppedOutAt float64
+
+	sprinting    bool // the profile is in its fast second half
+	missReported bool // the deadline-miss event already fired
 }
 
 var _ circuit.Controller = (*DeadlineController)(nil)
@@ -52,7 +56,19 @@ func (dc *DeadlineController) Init(s *circuit.State) {
 	}
 	dc.BypassedAt = -1
 	dc.DroppedOutAt = -1
+	dc.sprinting = false
+	dc.missReported = false
 	s.SetBypass(false)
+	if s.Tracing() {
+		mode := "steady"
+		if dc.Sprint > 0 {
+			mode = "slow"
+		}
+		s.TraceInstant("sched.mode", trace.Args{
+			"mode": mode, "rate_hz": dc.profileRate(0),
+			"cycles": dc.Cycles, "deadline_s": dc.Deadline, "sprint": dc.Sprint,
+		})
+	}
 	dc.command(s)
 }
 
@@ -98,6 +114,18 @@ func (dc *DeadlineController) command(s *circuit.State) {
 	t := s.Time()
 	proc := s.Processor()
 
+	// Sprint handoff: the slow first half of the window ends at T/2
+	// (Sec. VI.B slow-then-sprint schedule).
+	if dc.Sprint > 0 && !dc.sprinting && t >= dc.Deadline/2 {
+		dc.sprinting = true
+		if s.Tracing() {
+			s.TraceInstant("sched.mode", trace.Args{
+				"mode": "sprint", "rate_hz": dc.profileRate(t),
+				"slack_cycles": s.CyclesDone() - dc.scheduledCycles(t),
+			})
+		}
+	}
+
 	// Target rate: the sprint profile, plus catch-up when execution has
 	// fallen behind the profile's own schedule (e.g. after a brownout
 	// stall). The catch-up spreads the deficit over the remaining window so
@@ -111,6 +139,14 @@ func (dc *DeadlineController) command(s *circuit.State) {
 		}
 	} else if remaining > 0 {
 		f = math.Inf(1) // past the deadline: flat out
+		if !dc.missReported {
+			dc.missReported = true
+			if s.Tracing() {
+				s.TraceInstant("sched.deadline.miss", trace.Args{
+					"remaining_cycles": remaining, "deadline_s": dc.Deadline,
+				})
+			}
+		}
 	}
 
 	if s.Bypassed() {
@@ -133,12 +169,23 @@ func (dc *DeadlineController) command(s *circuit.State) {
 		// Regulator dropout: it cannot sustain the required supply.
 		if dc.DroppedOutAt < 0 {
 			dc.DroppedOutAt = t
+			if s.Tracing() {
+				s.TraceInstant("sched.dropout", trace.Args{
+					"required_v": vdd, "reachable_v": hi, "vcap_v": s.CapVoltage(),
+				})
+			}
 		}
 		if dc.AllowBypass && s.CapVoltage() > hi {
 			// Direct connection delivers the full node voltage instead.
 			s.SetBypass(true)
 			if dc.BypassedAt < 0 {
 				dc.BypassedAt = t
+				if s.Tracing() {
+					s.TraceInstant("sched.bypass", trace.Args{
+						"mode": "bypass", "vcap_v": s.CapVoltage(), "required_v": vdd,
+						"slack_cycles": s.CyclesDone() - dc.scheduledCycles(t),
+					})
+				}
 			}
 			s.SetFrequency(f)
 			return

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mppt"
 	"repro/internal/pv"
 	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 // maxRequestBody bounds POST bodies; the largest legitimate request is a
@@ -86,6 +87,45 @@ func (s *Server) handleExperimentGet(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
 	} else {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Write(body)
+}
+
+// handleExperimentTrace serves one experiment's simulation events, JSONL
+// by default or as a Chrome trace (?format=chrome). Traced re-runs are
+// deterministic, so responses cache like reports do; experiments without a
+// traced runner map to 422 (ErrNoTrace), mirroring the CSV contract.
+func (s *Server) handleExperimentTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	traceFormat := trace.FormatJSONL
+	switch format {
+	case "", "jsonl":
+	case "chrome":
+		traceFormat = trace.FormatChrome
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want jsonl or chrome)", format))
+		return
+	}
+	key := "trace:" + traceFormat + ":" + id
+	body, err := s.reports.get(key, func() (body []byte, err error) {
+		gateErr := s.gate.Do(r.Context(), func() error {
+			body, err = expt.RenderTrace(id, traceFormat)
+			return nil
+		})
+		if gateErr != nil {
+			return nil, gateErr
+		}
+		return body, err
+	})
+	if err != nil {
+		writeExperimentError(w, r, err)
+		return
+	}
+	if traceFormat == trace.FormatChrome {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.Write(body)
 }
@@ -321,6 +361,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"in_flight": s.gate.InFlight(),
 			"waited":    s.gate.Waited(),
 		},
+		"log_dropped": s.log.droppedLines(),
 	}))
 }
 
@@ -334,7 +375,7 @@ func writeExperimentError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, expt.ErrUnknown):
 		httpError(w, http.StatusNotFound, err.Error())
-	case errors.Is(err, expt.ErrNoSeries):
+	case errors.Is(err, expt.ErrNoSeries), errors.Is(err, expt.ErrNoTrace):
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 	case r.Context().Err() != nil:
 		httpError(w, http.StatusServiceUnavailable, err.Error())

@@ -28,7 +28,9 @@ const numBuckets = 11
 type histogram struct {
 	counts [numBuckets]atomic.Uint64
 	count  atomic.Uint64
-	sumUS  atomic.Uint64 // total microseconds, for mean latency
+	sumNS  atomic.Uint64 // total nanoseconds, for mean latency: integer
+	// microsecond accumulation truncated sub-microsecond observations to
+	// zero, deflating the mean on fast cache-hit routes.
 }
 
 func (h *histogram) observe(d time.Duration) {
@@ -36,7 +38,9 @@ func (h *histogram) observe(d time.Duration) {
 	i := sort.SearchFloat64s(latencyBuckets[:], ms)
 	h.counts[i].Add(1)
 	h.count.Add(1)
-	h.sumUS.Add(uint64(d / time.Microsecond))
+	if d > 0 {
+		h.sumNS.Add(uint64(d))
+	}
 }
 
 func (h *histogram) snapshot() map[string]any {
@@ -48,7 +52,7 @@ func (h *histogram) snapshot() map[string]any {
 	n := h.count.Load()
 	mean := 0.0
 	if n > 0 {
-		mean = float64(h.sumUS.Load()) / float64(n) / 1000.0
+		mean = float64(h.sumNS.Load()) / float64(n) / 1e6
 	}
 	return map[string]any{"count": n, "mean_ms": mean, "buckets": buckets}
 }
@@ -134,10 +138,13 @@ func (m *metrics) snapshot(extra map[string]any) map[string]any {
 }
 
 // requestLog emits one JSON line per request when w is non-nil. The mutex
-// keeps concurrent lines from interleaving.
+// keeps concurrent lines from interleaving. Lines that fail to serialise
+// or to write (a full disk, a closed pipe) are counted in dropped rather
+// than silently lost: /metrics surfaces the count as log_dropped.
 type requestLog struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu      sync.Mutex
+	w       io.Writer
+	dropped atomic.Uint64
 }
 
 func (l *requestLog) log(method, path string, status int, bytes int64, d time.Duration) {
@@ -153,11 +160,23 @@ func (l *requestLog) log(method, path string, status int, bytes int64, d time.Du
 		"ms":     float64(d) / float64(time.Millisecond),
 	})
 	if err != nil {
+		l.dropped.Add(1)
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.w.Write(append(line, '\n'))
+	if _, err := l.w.Write(append(line, '\n')); err != nil {
+		l.dropped.Add(1)
+	}
+}
+
+// droppedLines reports how many log lines were lost; nil-safe so the
+// metrics path works on servers without an access log.
+func (l *requestLog) droppedLines() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
 }
 
 // statusWriter captures the response status and size for metrics/logging.

@@ -111,10 +111,12 @@ func (s *Server) routes() {
 	}
 	handle("GET /api/v1/experiments", "experiments_list", s.handleExperimentsList)
 	handle("GET /api/v1/experiments/{id}", "experiment_get", s.handleExperimentGet)
+	handle("GET /api/v1/experiments/{id}/trace", "experiment_trace", s.handleExperimentTrace)
 	handle("POST /api/v1/experiments/batch", "experiments_batch", s.handleExperimentsBatch)
 	handle("POST /api/v1/pv/solve", "pv_solve", s.handlePVSolve)
 	handle("POST /api/v1/mppt/plan", "mppt_plan", s.handleMPPTPlan)
 	handle("GET /metrics", "metrics", s.handleMetrics)
+	handle("GET /metrics/prometheus", "metrics_prometheus", s.handleMetricsPrometheus)
 	handle("GET /healthz", "healthz", s.handleHealthz)
 }
 

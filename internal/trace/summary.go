@@ -1,0 +1,194 @@
+package trace
+
+// Trace summarisation: the aggregate view hemtrace prints — event counts
+// per kind, durations of Begin/End spans, and a time-in-mode table derived
+// from instant mode events (kinds ending in ".mode" with a string "mode"
+// argument: each dwell lasts until the next mode event on the same track,
+// or the track's last event).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SpanStat aggregates the closed spans of one (kind, track) pair.
+type SpanStat struct {
+	Kind     string
+	Track    string
+	Count    int     // closed spans
+	Open     int     // Begin events never closed
+	TotalS   float64 // summed duration (clock seconds)
+	LongestS float64
+}
+
+// ModeDwell is one row of the time-in-mode table.
+type ModeDwell struct {
+	Track  string
+	Mode   string
+	TotalS float64
+	Visits int
+}
+
+// Summary is the aggregate view of one trace.
+type Summary struct {
+	Events  int
+	ByKind  map[string]int
+	ByClock map[Clock]int
+	Spans   []SpanStat  // sorted by kind, then track
+	Modes   []ModeDwell // sorted by track, then mode
+	// SimEnd is the latest sim-clock timestamp, the horizon used to close
+	// the final mode dwell of each track.
+	SimEnd float64
+}
+
+// Summarize aggregates a trace.
+func Summarize(events []Event) *Summary {
+	s := &Summary{ByKind: map[string]int{}, ByClock: map[Clock]int{}}
+	type spanKey struct{ kind, track string }
+	open := map[spanKey][]float64{} // stack of begin times
+	stats := map[spanKey]*SpanStat{}
+
+	dwell := map[modeKey]*ModeDwell{}
+	lastMode := map[string]*Event{} // track -> pending mode event
+	trackEnd := map[string]float64{}
+
+	for i := range events {
+		ev := events[i]
+		s.Events++
+		s.ByKind[ev.Kind]++
+		s.ByClock[ev.Clock]++
+		if ev.Clock == ClockSim {
+			if ev.Time > s.SimEnd {
+				s.SimEnd = ev.Time
+			}
+			if ev.Time > trackEnd[ev.Track] {
+				trackEnd[ev.Track] = ev.Time
+			}
+		}
+
+		key := spanKey{ev.Kind, ev.Track}
+		switch ev.Phase {
+		case PhaseBegin:
+			open[key] = append(open[key], ev.Time)
+			if stats[key] == nil {
+				stats[key] = &SpanStat{Kind: ev.Kind, Track: ev.Track}
+			}
+		case PhaseEnd:
+			st := stats[key]
+			if st == nil {
+				st = &SpanStat{Kind: ev.Kind, Track: ev.Track}
+				stats[key] = st
+			}
+			if stack := open[key]; len(stack) > 0 {
+				start := stack[len(stack)-1]
+				open[key] = stack[:len(stack)-1]
+				d := ev.Time - start
+				st.Count++
+				st.TotalS += d
+				if d > st.LongestS {
+					st.LongestS = d
+				}
+			}
+		case PhaseInstant:
+			if mode, ok := ev.Args["mode"].(string); ok && ev.Clock == ClockSim {
+				if prev := lastMode[ev.Track]; prev != nil {
+					commitDwell(dwell, prev, ev.Time)
+				}
+				evCopy := ev
+				evCopy.Args = Args{"mode": mode}
+				lastMode[ev.Track] = &evCopy
+			}
+		}
+	}
+
+	// Close dangling spans and final mode dwells at each track's horizon.
+	for key, stack := range open {
+		stats[key].Open += len(stack)
+	}
+	for track, prev := range lastMode {
+		commitDwell(dwell, prev, trackEnd[track])
+	}
+
+	for _, st := range stats {
+		s.Spans = append(s.Spans, *st)
+	}
+	sort.Slice(s.Spans, func(i, j int) bool {
+		if s.Spans[i].Kind != s.Spans[j].Kind {
+			return s.Spans[i].Kind < s.Spans[j].Kind
+		}
+		return s.Spans[i].Track < s.Spans[j].Track
+	})
+	for _, d := range dwell {
+		s.Modes = append(s.Modes, *d)
+	}
+	sort.Slice(s.Modes, func(i, j int) bool {
+		if s.Modes[i].Track != s.Modes[j].Track {
+			return s.Modes[i].Track < s.Modes[j].Track
+		}
+		return s.Modes[i].Mode < s.Modes[j].Mode
+	})
+	return s
+}
+
+// modeKey indexes the time-in-mode accumulation.
+type modeKey struct{ track, mode string }
+
+// commitDwell accumulates the time between a mode event and the given end.
+func commitDwell(dwell map[modeKey]*ModeDwell, ev *Event, end float64) {
+	mode, _ := ev.Args["mode"].(string)
+	key := modeKey{ev.Track, mode}
+	d := dwell[key]
+	if d == nil {
+		d = &ModeDwell{Track: ev.Track, Mode: mode}
+		dwell[key] = d
+	}
+	d.Visits++
+	if end > ev.Time {
+		d.TotalS += end - ev.Time
+	}
+}
+
+// Write renders the summary as the text report hemtrace prints.
+func (s *Summary) Write(w io.Writer) error {
+	fmt.Fprintf(w, "events: %d (sim %d, wall %d); sim horizon %.6g s\n",
+		s.Events, s.ByClock[ClockSim], s.ByClock[ClockWall], s.SimEnd)
+
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintln(w, "by kind:")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-28s %6d\n", k, s.ByKind[k])
+	}
+
+	if len(s.Spans) > 0 {
+		fmt.Fprintln(w, "spans:")
+		for _, sp := range s.Spans {
+			track := sp.Track
+			if track == "" {
+				track = "-"
+			}
+			fmt.Fprintf(w, "  %-28s %-22s n=%-4d total %.6g s, longest %.6g s",
+				sp.Kind, track, sp.Count, sp.TotalS, sp.LongestS)
+			if sp.Open > 0 {
+				fmt.Fprintf(w, " (%d unclosed)", sp.Open)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(s.Modes) > 0 {
+		fmt.Fprintln(w, "time in mode:")
+		for _, m := range s.Modes {
+			track := m.Track
+			if track == "" {
+				track = "-"
+			}
+			fmt.Fprintf(w, "  %-22s %-16s %.6g s over %d visit(s)\n", track, m.Mode, m.TotalS, m.Visits)
+		}
+	}
+	return nil
+}
