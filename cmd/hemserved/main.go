@@ -22,10 +22,15 @@
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests (bounded by -drain).
 //
+// With -chaos the server honors X-Fault-Plan headers carrying a fault
+// plan (internal/fault): injected latency, failures, render faults and
+// gate holds, for resilience drills against a non-production instance.
+//
 // Usage:
 //
 //	hemserved [-addr 127.0.0.1:8080] [-workers N] [-cache 64]
 //	          [-timeout 30s] [-drain 10s] [-quiet] [-debug-addr 127.0.0.1:0]
+//	          [-chaos]
 package main
 
 import (
@@ -68,6 +73,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
 		quiet   = fs.Bool("quiet", false, "disable the JSON access log on stderr")
 		debug   = fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+		chaos   = fs.Bool("chaos", false, "honor X-Fault-Plan fault-injection headers (drills only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,13 +82,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Workers:         *workers,
 		ReportCacheSize: *cache,
 		RequestTimeout:  *timeout,
+		Chaos:           *chaos,
 	}
 	if !*quiet {
 		cfg.AccessLog = stderr
 	}
+	if *chaos {
+		fmt.Fprintln(stdout, "hemserved: chaos mode on, honoring "+serve.FaultPlanHeader+" headers")
+	}
+	// The server-side timeouts guard the listener against slow-loris
+	// clients and stuck writes; they sit above the per-request deadline
+	// (-timeout), which also covers gate queueing, so the write timeout
+	// must not undercut it.
 	srv := &http.Server{
 		Handler:           serve.New(cfg).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      *timeout + 15*time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -136,5 +153,13 @@ func debugServer(addr string) (*http.Server, net.Listener, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln, nil
+	// Mirror the API listener's guards; pprof profile captures stream for
+	// up to their ?seconds= budget, so the write timeout stays generous.
+	return &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}, ln, nil
 }

@@ -5,9 +5,16 @@
 // buffers are flushed in registry order, so the report bytes are identical
 // for every -j (only the trailing timing footer varies).
 //
+// With -faults the traced pass of chaos-capable experiments re-runs under
+// the fault plan in the given JSON file (internal/fault): brownout windows
+// cut the light, NVM faults tear checkpoints, and every injection lands in
+// the -trace output as a fault.* event. Same plan + same seed is
+// byte-identical for every -j.
+//
 // Usage:
 //
-//	hemsim [-list] [-csv dir] [-trace file] [-j N] [-timing] [experiment...]
+//	hemsim [-list] [-csv dir] [-trace file] [-faults plan.json] [-j N]
+//	       [-timing] [experiment...]
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -41,6 +49,7 @@ func run(args []string, stdout io.Writer) error {
 	timing := fs.Bool("timing", true, "print the per-experiment timing footer on multi-experiment runs")
 	traceFile := fs.String("trace", "", "write traced experiments' simulation events to <file> (.json selects Chrome trace format, else JSONL)")
 	traceWall := fs.Bool("trace-wall", false, "add wall-clock runner spans (worker, queue wait) to the -trace output; non-deterministic")
+	faultsFile := fs.String("faults", "", "run chaos-capable experiments under the fault plan in <file> (JSON; requires -trace)")
 	// Accept flags before and after the experiment IDs (`hemsim all -j 4`):
 	// the stdlib parser stops at the first positional, so re-enter it after
 	// consuming each one.
@@ -55,6 +64,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 		targets = append(targets, rest[0])
 		rest = rest[1:]
+	}
+	var plan *fault.Plan
+	if *faultsFile != "" {
+		if *traceFile == "" {
+			return errors.New("-faults requires -trace: injections are reported as fault.* trace events")
+		}
+		p, err := fault.LoadPlan(*faultsFile)
+		if err != nil {
+			return err
+		}
+		plan = &p
 	}
 	registry := expt.Registry()
 	if *list {
@@ -107,6 +127,12 @@ func run(args []string, stdout io.Writer) error {
 			// batch slot so the merge order (and so the output bytes) depend
 			// only on registry order, never on worker scheduling.
 			traced := e.Trace
+			if plan != nil && e.Chaos != nil {
+				// Under -faults the chaos pass replaces the traced pass:
+				// same event stream plus the plan's injections.
+				chaos := e.Chaos
+				traced = func(tr trace.Tracer) error { return chaos(*plan, tr) }
+			}
 			run := job.Run
 			job.Run = func(w io.Writer) error {
 				if err := run(w); err != nil {

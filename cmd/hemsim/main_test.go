@@ -216,3 +216,70 @@ func TestTraceChromeExtension(t *testing.T) {
 		t.Error(".json trace is not in the Chrome format")
 	}
 }
+
+// writeFaultPlan drops a canonical chaos plan into a temp dir: a blackout
+// over the blinking profile plus an NVM that tears every second commit.
+func writeFaultPlan(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plan.json")
+	plan := `{"seed":7,"brownouts":[{"at_s":0.05,"duration_s":0.02}],` +
+		`"random_brownouts":{"count":2,"mean_duration_s":0.01,"depth":0.1},` +
+		`"nvm":{"fail_every_n":2,"restore_bitrot_prob":0.2}}`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFaultsRequiresTrace(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-faults", writeFaultPlan(t), "fig2"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-trace") {
+		t.Errorf("-faults without -trace: err = %v, want a -trace hint", err)
+	}
+}
+
+func TestFaultsBadPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"nope":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{"-faults", path, "-trace", tracePath, "fig2"}, &b); err == nil {
+		t.Error("malformed plan accepted")
+	}
+}
+
+// TestFaultsParityAcrossWorkers extends the -j determinism contract to
+// chaos runs: same plan, same seed, byte-identical trace whatever the
+// worker count — the acceptance bar for the fault layer.
+func TestFaultsParityAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient experiments")
+	}
+	plan := writeFaultPlan(t)
+	const targets = "ext-intermittent,fig2,fig11b"
+	record := func(jobs string) []byte {
+		path := filepath.Join(t.TempDir(), "trace.jsonl")
+		var b strings.Builder
+		if err := run([]string{"-j", jobs, "-trace", path, "-faults", plan, targets}, &b); err != nil {
+			t.Fatalf("-j %s: %v", jobs, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("-j %s: %v", jobs, err)
+		}
+		return data
+	}
+	j1, j8 := record("1"), record("8")
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("chaos trace differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
+	}
+	out := string(j1)
+	for _, kind := range []string{"fault.plan", "fault.brownout", "fault.nvm-torn"} {
+		if !strings.Contains(out, `"kind":"`+kind+`"`) {
+			t.Errorf("chaos trace missing %s events", kind)
+		}
+	}
+}

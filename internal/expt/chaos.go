@@ -1,0 +1,65 @@
+// Chaos experiment runners: registry entries that can re-run under a
+// declarative fault plan (internal/fault). A chaos run superimposes the
+// plan's brownout windows on the experiment's light profile, injects NVM
+// faults into intermittent executors, and records every injection as a
+// fault.* event, so a hostile-environment run is replayable and diffable
+// exactly like a benign trace.
+package expt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// ErrNoChaos indicates an experiment without a chaos runner: it has no
+// transient simulation for the fault layer to attack. See ChaosIDs.
+var ErrNoChaos = errors.New("expt: experiment has no chaos runner")
+
+// chaosEntry attaches a chaos runner to a registry entry. run re-executes
+// the experiment with the plan's faults injected and the tracer attached;
+// the report is discarded — chaos runs are about the event stream.
+func chaosEntry(e Experiment, run func(plan fault.Plan, tr trace.Tracer) error) Experiment {
+	e.Chaos = run
+	return e
+}
+
+// ChaosIDs returns, in stable order, the experiments with chaos runners.
+// Like NoSeriesIDs it is derived from the registry, never hand-maintained.
+func ChaosIDs() []string {
+	var ids []string
+	for _, e := range registryList() {
+		if e.Chaos != nil {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
+// RunChaos re-runs the experiment under the fault plan with the tracer
+// attached. Unknown IDs return ErrUnknown; experiments without a chaos
+// surface ErrNoChaos. Determinism matches the trace layer: same ID, plan
+// and seed always produce the same events, regardless of which worker (or
+// how many) runs them.
+func RunChaos(id string, plan fault.Plan, tr trace.Tracer) error {
+	e, ok := Registry()[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	if e.Chaos == nil {
+		return ErrNoChaos
+	}
+	return e.Chaos(plan, tr)
+}
+
+// ChaosEvents runs the chaos experiment with a recorder attached and
+// returns its events.
+func ChaosEvents(id string, plan fault.Plan) ([]trace.Event, error) {
+	rec := trace.NewRecorder()
+	if err := RunChaos(id, plan, rec); err != nil {
+		return nil, err
+	}
+	return rec.Events(), nil
+}

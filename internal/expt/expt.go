@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cap"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/plot"
 	"repro/internal/pv"
 	"repro/internal/reg"
@@ -92,6 +93,10 @@ type Experiment struct {
 	// simulations, discarding the report. nil for experiments with no
 	// traced path (the trace layer maps it to ErrNoTrace); see TracedIDs.
 	Trace func(tr trace.Tracer) error
+	// Chaos re-runs the experiment under a fault plan (internal/fault)
+	// with the tracer attached. nil for experiments without a chaos
+	// surface (the fault layer maps it to ErrNoChaos); see ChaosIDs.
+	Chaos func(plan fault.Plan, tr trace.Tracer) error
 }
 
 // reporter is anything that can write its report.
@@ -141,11 +146,13 @@ func registryList() []Experiment {
 		tracedEntry(entry("fig8", Fig8, func(r *Fig8Result) []plot.Series { return r.Series }),
 			func(tr trace.Tracer) error { _, err := fig8(tr); return err }),
 		entry("fig9a", Fig9a, func(r *Fig9aResult) []plot.Series { return r.Series }),
-		tracedEntry(entry("fig9b", Fig9b, func(r *Fig9bResult) []plot.Series { return r.Series }),
+		chaosEntry(tracedEntry(entry("fig9b", Fig9b, func(r *Fig9bResult) []plot.Series { return r.Series }),
 			func(tr trace.Tracer) error { _, err := fig9b(tr); return err }),
+			func(plan fault.Plan, tr trace.Tracer) error { _, err := fig9bChaos(tr, &plan); return err }),
 		entry("fig11a", infallible(Fig11a), func(r *Fig11aResult) []plot.Series { return r.Series }),
-		tracedEntry(entry("fig11b", Fig11b, func(r *Fig11bResult) []plot.Series { return r.Series }),
+		chaosEntry(tracedEntry(entry("fig11b", Fig11b, func(r *Fig11bResult) []plot.Series { return r.Series }),
 			func(tr trace.Tracer) error { _, err := fig11b(tr); return err }),
+			func(plan fault.Plan, tr trace.Tracer) error { _, err := fig11bChaos(tr, &plan); return err }),
 		// Summary-only experiments (nil Series => ErrNoSeries on export).
 		entry[*HeadlineResult]("headline", infallible(Headline), nil),
 
@@ -155,8 +162,9 @@ func registryList() []Experiment {
 		entry[*ExtCornersResult]("ext-corners", ExtCorners, nil),
 		entry[*ExtDomainsResult]("ext-domains", ExtDomains, nil),
 		entry[*ExtWeatherResult]("ext-weather", ExtWeather, nil),
-		tracedEntry(entry[*ExtIntermittentResult]("ext-intermittent", ExtIntermittent, nil),
+		chaosEntry(tracedEntry(entry[*ExtIntermittentResult]("ext-intermittent", ExtIntermittent, nil),
 			func(tr trace.Tracer) error { _, err := extIntermittent(tr); return err }),
+			func(plan fault.Plan, tr trace.Tracer) error { _, err := extIntermittentChaos(tr, &plan); return err }),
 		entry[*ExtFederationResult]("ext-federation", ExtFederation, nil),
 		entry[*ExtShadingResult]("ext-shading", ExtShading, nil),
 		entry[*ExtDutyCycleResult]("ext-dutycycle", ExtDutyCycle, nil),

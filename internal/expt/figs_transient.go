@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/plot"
 	"repro/internal/pv"
 	"repro/internal/sched"
@@ -176,7 +177,9 @@ type VariantOutcome struct {
 // runVariant executes one policy under the shared dimming scenario. The
 // tracer (nil to disable) records the run's events on a track named after
 // the variant, so multi-variant figures keep their runs distinguishable.
-func runVariant(name string, sprint float64, bypass bool, traceEvery int, tracer trace.Tracer) (VariantOutcome, error) {
+// irr overrides the scenario's light profile (nil selects the standard
+// dimming ramp) — the chaos layer uses it to superimpose brownout windows.
+func runVariant(name string, sprint float64, bypass bool, traceEvery int, tracer trace.Tracer, irr func(float64) float64) (VariantOutcome, error) {
 	c := DefaultComponents()
 	sys := core.NewSystem(c.Cell, c.Proc)
 	mgr := core.NewManager(sys, c.Buck) // the test chip integrates the buck
@@ -188,9 +191,12 @@ func runVariant(name string, sprint float64, bypass bool, traceEvery int, tracer
 	}
 	e0 := storage.Energy()
 
+	if irr == nil {
+		irr = circuit.RampIrradiance(demoStartLevel, demoDimLevel, demoDimStart, demoDimEnd)
+	}
 	dr, err := mgr.RunDeadlineJob(core.DeadlineRunConfig{
 		Cap:            storage,
-		Irradiance:     circuit.RampIrradiance(demoStartLevel, demoDimLevel, demoDimStart, demoDimEnd),
+		Irradiance:     irr,
 		Cycles:         demoJobCycles,
 		Deadline:       demoDeadline,
 		Sprint:         sprint,
@@ -259,20 +265,34 @@ func Fig9b() (*Fig9bResult, error) { return fig9b(nil) }
 
 // fig9b is Fig9b with an optional event tracer; each variant records onto
 // its own track.
-func fig9b(tracer trace.Tracer) (*Fig9bResult, error) {
-	baseline, err := runVariant("constant", 0, false, fig9bTraceEvery, tracer)
+func fig9b(tracer trace.Tracer) (*Fig9bResult, error) { return fig9bChaos(tracer, nil) }
+
+// fig9bChaos is fig9b under an optional fault plan (nil runs the benign
+// scenario): each variant's dimming ramp is darkened by the plan's brownout
+// windows, resolved on the variant's own deterministic stream and recorded
+// as fault.* events on the variant's track.
+func fig9bChaos(tracer trace.Tracer, plan *fault.Plan) (*Fig9bResult, error) {
+	irr := func(variant string) func(float64) float64 {
+		if plan == nil {
+			return nil
+		}
+		b := fault.New(*plan, "fig9b/"+variant).Brownouts(2 * demoDeadline)
+		b.Emit(tracer, variant, plan.Seed)
+		return b.Wrap(circuit.RampIrradiance(demoStartLevel, demoDimLevel, demoDimStart, demoDimEnd))
+	}
+	baseline, err := runVariant("constant", 0, false, fig9bTraceEvery, tracer, irr("constant"))
 	if err != nil {
 		return nil, err
 	}
-	sprintOnly, err := runVariant("sprint", demoSprint, false, fig9bTraceEvery, tracer)
+	sprintOnly, err := runVariant("sprint", demoSprint, false, fig9bTraceEvery, tracer, irr("sprint"))
 	if err != nil {
 		return nil, err
 	}
-	bypassOnly, err := runVariant("bypass", 0, true, fig9bTraceEvery, tracer)
+	bypassOnly, err := runVariant("bypass", 0, true, fig9bTraceEvery, tracer, irr("bypass"))
 	if err != nil {
 		return nil, err
 	}
-	proposed, err := runVariant("sprint+bypass", demoSprint, true, fig9bTraceEvery, tracer)
+	proposed, err := runVariant("sprint+bypass", demoSprint, true, fig9bTraceEvery, tracer, irr("sprint+bypass"))
 	if err != nil {
 		return nil, err
 	}
@@ -340,12 +360,23 @@ func Fig11b() (*Fig11bResult, error) { return fig11b(nil) }
 
 // fig11b is Fig11b with an optional event tracer; each policy records onto
 // its own track.
-func fig11b(tracer trace.Tracer) (*Fig11bResult, error) {
-	baseline, err := runVariant("w/o sprinting", 0, false, 100, tracer)
+func fig11b(tracer trace.Tracer) (*Fig11bResult, error) { return fig11bChaos(tracer, nil) }
+
+// fig11bChaos is fig11b under an optional fault plan, as fig9bChaos.
+func fig11bChaos(tracer trace.Tracer, plan *fault.Plan) (*Fig11bResult, error) {
+	irr := func(variant string) func(float64) float64 {
+		if plan == nil {
+			return nil
+		}
+		b := fault.New(*plan, "fig11b/"+variant).Brownouts(2 * demoDeadline)
+		b.Emit(tracer, variant, plan.Seed)
+		return b.Wrap(circuit.RampIrradiance(demoStartLevel, demoDimLevel, demoDimStart, demoDimEnd))
+	}
+	baseline, err := runVariant("w/o sprinting", 0, false, 100, tracer, irr("w/o sprinting"))
 	if err != nil {
 		return nil, err
 	}
-	proposed, err := runVariant("w/ sprinting+bypass", demoSprint, true, 100, tracer)
+	proposed, err := runVariant("w/ sprinting+bypass", demoSprint, true, 100, tracer, irr("w/ sprinting+bypass"))
 	if err != nil {
 		return nil, err
 	}

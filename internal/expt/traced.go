@@ -14,6 +14,7 @@ import (
 	"repro/internal/cap"
 	"repro/internal/circuit"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/intermittent"
 	"repro/internal/pv"
 	"repro/internal/reg"
@@ -80,10 +81,22 @@ func RenderTrace(id, format string) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// extIntermittentMaxTime bounds each policy's run (s); chaos brownout
+// windows resolve over the same horizon.
+const extIntermittentMaxTime = 800e-3
+
 // extIntermittent is the ExtIntermittent driver body with an optional
 // tracer; each checkpoint policy records onto its own track. It lives here
 // (not figs_ext.go) because that file has a local named `trace`.
 func extIntermittent(tracer trace.Tracer) (*ExtIntermittentResult, error) {
+	return extIntermittentChaos(tracer, nil)
+}
+
+// extIntermittentChaos is extIntermittent under an optional fault plan:
+// brownout windows darken the blinking profile and the plan's NVM section
+// injects torn commit marks and restore bit-rot into each executor. Every
+// policy resolves its faults on its own deterministic stream.
+func extIntermittentChaos(tracer trace.Tracer, plan *fault.Plan) (*ExtIntermittentResult, error) {
 	blink := func(t float64) float64 {
 		if math.Mod(t, 6e-3) < 3e-3 {
 			return 1.0
@@ -97,10 +110,22 @@ func extIntermittent(tracer trace.Tracer) (*ExtIntermittentResult, error) {
 		intermittent.VoltageTriggeredPolicy{Threshold: 0.70, MinUncommitted: 1e4},
 	}
 	for _, pol := range policies {
+		irr := blink
+		var faults intermittent.Faults
+		if plan != nil {
+			in := fault.New(*plan, "ext-intermittent/"+pol.Name())
+			b := in.Brownouts(extIntermittentMaxTime)
+			b.Emit(tracer, pol.Name(), plan.Seed)
+			irr = b.Wrap(blink)
+			if n := in.NVM(); n != nil {
+				faults = n
+			}
+		}
 		e := &intermittent.Executor{
 			Task:   intermittent.Task{TotalCycles: 6e6, StateBytes: 1024},
 			Policy: pol,
 			Supply: 0.50,
+			Faults: faults,
 		}
 		storage, err := cap.New(47e-6, 1.0, 2.0)
 		if err != nil {
@@ -111,10 +136,10 @@ func extIntermittent(tracer trace.Tracer) (*ExtIntermittentResult, error) {
 			Proc:       cpu.NewProcessor(),
 			Reg:        reg.NewSC(),
 			Cap:        storage,
-			Irradiance: blink,
+			Irradiance: irr,
 			Controller: e,
 			Step:       2e-6,
-			MaxTime:    800e-3,
+			MaxTime:    extIntermittentMaxTime,
 			Tracer:     tracer,
 			TraceTrack: pol.Name(),
 		})

@@ -156,6 +156,22 @@ func (p VoltageTriggeredPolicy) ShouldSleep(nodeVoltage float64) bool {
 // Name implements Policy.
 func (p VoltageTriggeredPolicy) Name() string { return "voltage-triggered" }
 
+// Faults optionally injects checkpoint-store failures into an execution —
+// the hostile-NVM half of a chaos run (see internal/fault for the plan-
+// driven implementation). Implementations must be deterministic given
+// their own seeded state: the executor calls them in simulation order,
+// once per commit or restore attempt.
+type Faults interface {
+	// TornWrite reports whether commit n's mark fails: the write burns its
+	// cycles but the image is discarded. The previous commit survives
+	// (double buffering) and the volatile work stays in RAM for a retry.
+	TornWrite(commit int) bool
+	// CorruptRestore reports whether restore r reads a bit-rotted image.
+	// The executor falls back to the older buffered image, losing the work
+	// between the two commits, and re-reads.
+	CorruptRestore(restore int) bool
+}
+
 // NeverPolicy never checkpoints — the baseline that shows why intermittent
 // execution needs persistence (long jobs restart from zero at every power
 // failure and may never finish).
@@ -205,6 +221,8 @@ type Stats struct {
 	RestoreCycles    float64 // cycles spent restoring after failures
 	Checkpoints      int     // completed (committed) checkpoints
 	TornCheckpoints  int     // checkpoints destroyed mid-write by a failure
+	FailedWrites     int     // commit marks torn by injected NVM faults
+	CorruptRestores  int     // restores that read a bit-rotted image
 	Failures         int     // power failures experienced
 	Completed        bool    // the task's final state was committed
 	CompletedAt      float64 // simulation time of the final commit (s)
@@ -234,6 +252,10 @@ type Executor struct {
 	// sustain the supply.
 	Bypass bool
 
+	// Faults, when non-nil, injects NVM failures (torn commit marks,
+	// restore-time bit-rot). Nil disables injection.
+	Faults Faults
+
 	// Stats accumulates the execution accounting.
 	Stats Stats
 
@@ -244,6 +266,10 @@ type Executor struct {
 	wasHalted     bool
 	finalCommit   bool // the in-flight checkpoint is the task's last
 	everCommitted bool
+	commitPending bool    // write done; the mark latches next live step
+	pendingLeft   float64 // cycles banked while the commit mark settles
+	prevCommitted float64 // committed work in the older buffered image
+	restores      int     // restore attempts, indexing Faults.CorruptRestore
 	workAtFailure float64 // committed+volatile at the previous failure
 }
 
@@ -325,6 +351,19 @@ func (e *Executor) OnStep(s *circuit.State) {
 	}
 	e.wasHalted = halted
 
+	if !halted && e.commitPending {
+		// The supply survived the step that wrote the commit mark: latch
+		// the commit, then release the banked cycles to whatever mode the
+		// commit leaves the executor in.
+		e.applyCommit(s)
+		if e.Stats.Completed {
+			e.pendingLeft = 0
+			executed = 0 // the final commit stopped the run; nothing left to attribute
+		} else {
+			executed += e.pendingLeft
+			e.pendingLeft = 0
+		}
+	}
 	if e.mode == modeHibernating {
 		if h, ok := e.Policy.(Hibernator); !ok || !h.ShouldSleep(s.CapVoltage()) {
 			e.setMode(s, modeWorking)
@@ -354,9 +393,12 @@ func (e *Executor) powerFailure(s *circuit.State) {
 	e.Stats.Volatile = 0
 	if e.mode == modeCheckpointing {
 		// Double buffering: the in-flight image is discarded, the previous
-		// commit survives.
+		// commit survives. A pending commit mark is torn too — the failure
+		// landed on the very step that was writing it.
 		e.Stats.TornCheckpoints++
 		e.finalCommit = false
+		e.commitPending = false
+		e.pendingLeft = 0
 	}
 	e.phaseCycles = 0
 	if e.everCommitted {
@@ -379,6 +421,11 @@ func (e *Executor) consume(s *circuit.State, executed float64) {
 			e.Stats.RestoreCycles += used
 			executed -= used
 			if e.phaseCycles >= e.phaseNeeded {
+				e.restores++
+				if e.Faults != nil && e.Faults.CorruptRestore(e.restores-1) {
+					e.corruptRestore(s)
+					continue
+				}
 				e.setMode(s, modeWorking)
 			}
 
@@ -405,39 +452,104 @@ func (e *Executor) consume(s *circuit.State, executed float64) {
 			e.Stats.CheckpointCycles += used
 			executed -= used
 			if e.phaseCycles >= e.phaseNeeded {
-				// Commit.
-				e.Stats.Committed += e.Stats.Volatile
-				e.Stats.Volatile = 0
-				e.Stats.Checkpoints++
-				e.everCommitted = true
-				if s.Tracing() {
-					s.TraceInstant("intermittent.checkpoint", trace.Args{
-						"committed": e.Stats.Committed, "cost_cycles": e.phaseNeeded,
-						"final": e.finalCommit, "n": float64(e.Stats.Checkpoints),
-					})
-				}
-				e.setMode(s, modeWorking)
-				if e.finalCommit {
-					e.Stats.Completed = true
-					e.Stats.CompletedAt = s.Time()
-					if s.Tracing() {
-						s.TraceInstant("intermittent.complete", trace.Args{
-							"committed": e.Stats.Committed, "failures": float64(e.Stats.Failures),
-						})
-					}
-					s.Stop("task committed")
-					return
-				}
-				// A just-in-time checkpoint means the supply is dying:
-				// hibernate until it recovers rather than burning the last
-				// charge on work that the next failure will destroy.
-				if h, ok := e.Policy.(Hibernator); ok && h.ShouldSleep(s.CapVoltage()) {
-					e.setMode(s, modeHibernating)
-					return
-				}
+				// The image is written, but the commit mark only latches if
+				// the supply survives the step that wrote it. A mid-step
+				// collapse is discovered one step late (the simulator reports
+				// the halt at the next step), so committing here would
+				// resurrect work the failure destroyed: defer the commit to
+				// the next live step and bank the rest of this one's cycles
+				// until the mark settles.
+				e.commitPending = true
+				e.pendingLeft += executed
+				executed = 0
 			}
+
+		case modeHibernating:
+			// The clock gates at the next command; cycles that slip in here
+			// (the tail of a mark step whose commit led straight into
+			// hibernation) are idle spin, not work.
+			executed = 0
 		}
 	}
+}
+
+// applyCommit latches a checkpoint whose commit mark survived a full
+// simulation step. Injected NVM faults can still tear the mark here: the
+// cycles are spent but the image is discarded, the previous commit
+// survives (double buffering), and the volatile work stays in RAM for a
+// retry.
+func (e *Executor) applyCommit(s *circuit.State) {
+	e.commitPending = false
+	if e.Faults != nil && e.Faults.TornWrite(e.Stats.Checkpoints+e.Stats.FailedWrites) {
+		e.Stats.FailedWrites++
+		e.finalCommit = false
+		if s.Tracing() {
+			s.TraceInstant("fault.nvm-torn", trace.Args{
+				"committed": e.Stats.Committed, "volatile": e.Stats.Volatile,
+				"n": float64(e.Stats.FailedWrites),
+			})
+		}
+		e.setMode(s, modeWorking)
+		return
+	}
+	e.prevCommitted = e.Stats.Committed
+	e.Stats.Committed += e.Stats.Volatile
+	e.Stats.Volatile = 0
+	e.Stats.Checkpoints++
+	e.everCommitted = true
+	if s.Tracing() {
+		s.TraceInstant("intermittent.checkpoint", trace.Args{
+			"committed": e.Stats.Committed, "cost_cycles": e.phaseNeeded,
+			"final": e.finalCommit, "n": float64(e.Stats.Checkpoints),
+		})
+	}
+	e.setMode(s, modeWorking)
+	if e.finalCommit {
+		e.Stats.Completed = true
+		e.Stats.CompletedAt = s.Time()
+		if s.Tracing() {
+			s.TraceInstant("intermittent.complete", trace.Args{
+				"committed": e.Stats.Committed, "failures": float64(e.Stats.Failures),
+			})
+		}
+		s.Stop("task committed")
+		return
+	}
+	// A just-in-time checkpoint means the supply is dying: hibernate until
+	// it recovers rather than burning the last charge on work that the next
+	// failure will destroy.
+	if h, ok := e.Policy.(Hibernator); ok && h.ShouldSleep(s.CapVoltage()) {
+		e.setMode(s, modeHibernating)
+	}
+}
+
+// corruptRestore handles a restore that read a bit-rotted image: the
+// newest checkpoint fails its integrity check, so the executor falls back
+// to the older buffered image (losing the work between the two commits)
+// and re-reads. When the older image is the initial empty one, the task
+// restarts cleanly from zero — corruption never yields torn state.
+func (e *Executor) corruptRestore(s *circuit.State) {
+	e.Stats.CorruptRestores++
+	if lost := e.Stats.Committed - e.prevCommitted; lost > 0 {
+		e.Stats.Lost += lost
+		e.Stats.Committed = e.prevCommitted
+	}
+	if s.Tracing() {
+		s.TraceInstant("fault.nvm-bitrot", trace.Args{
+			"committed": e.Stats.Committed, "n": float64(e.Stats.CorruptRestores),
+		})
+	}
+	if e.Stats.Committed <= 0 {
+		// Both buffers gone: reboot straight into work from zero.
+		e.Stats.Committed = 0
+		e.everCommitted = false
+		e.phaseCycles = 0
+		e.phaseNeeded = 0
+		e.setMode(s, modeWorking)
+		return
+	}
+	// Re-read the fallback image.
+	e.phaseCycles = 0
 }
 
 // OnThreshold implements circuit.Controller.

@@ -9,6 +9,7 @@ package runner
 import (
 	"context"
 	"sync/atomic"
+	"time"
 )
 
 // Gate admits at most its capacity of concurrently executing tasks.
@@ -33,6 +34,16 @@ func NewGate(n int) *Gate {
 // error is returned; once fn has started it always runs to completion
 // (cancellation mid-task is the task's own concern).
 func (g *Gate) Do(ctx context.Context, fn func() error) error {
+	return g.DoHeld(ctx, 0, fn)
+}
+
+// DoHeld is Do with an artificial slot hold: after acquiring a slot it
+// keeps the slot occupied, idle, for the hold duration before running fn.
+// It exists for fault injection (internal/fault's GateHold) and saturation
+// tests — a positive hold simulates a pool stuck on slow simulations
+// without burning CPU. Cancellation during the hold releases the slot and
+// returns ctx's error; fn never runs.
+func (g *Gate) DoHeld(ctx context.Context, hold time.Duration, fn func() error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -52,6 +63,15 @@ func (g *Gate) Do(ctx context.Context, fn func() error) error {
 		g.inFlight.Add(-1)
 		<-g.slots
 	}()
+	if hold > 0 {
+		t := time.NewTimer(hold)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 	return fn()
 }
 

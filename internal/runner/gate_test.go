@@ -106,3 +106,41 @@ func TestGateMinimumCapacity(t *testing.T) {
 		t.Errorf("NewGate(-5).Cap() = %d, want 1", got)
 	}
 }
+
+// TestGateDoHeldDelaysFn proves the hold occupies the slot before fn runs
+// and that cancellation during the hold releases the slot without running
+// fn.
+func TestGateDoHeldDelaysFn(t *testing.T) {
+	g := NewGate(1)
+	start := time.Now()
+	ran := false
+	if err := g.DoHeld(context.Background(), 50*time.Millisecond, func() error {
+		ran = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("fn never ran")
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("hold not applied: %v < 50ms", elapsed)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := g.DoHeld(ctx, time.Minute, func() error {
+		t.Error("fn ran despite cancellation during hold")
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancelled hold: err = %v", err)
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Errorf("slot leaked after cancelled hold: in-flight %d", got)
+	}
+	// The slot must actually be free again.
+	if err := g.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Errorf("gate unusable after cancelled hold: %v", err)
+	}
+}

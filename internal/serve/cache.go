@@ -108,13 +108,21 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, sha
 }
 
 // renderCache is the serving stack's response cache: LRU in front,
-// singleflight behind, instrumented for /metrics.
+// singleflight behind, instrumented for /metrics. Beside the LRU it keeps
+// a last-known-good store that eviction never touches: when the gate is
+// too saturated to re-render an evicted entry, the degraded-mode path
+// serves the stale copy (with a Warning header) instead of a 503. The
+// store is bounded in practice by the key space — one entry per
+// (experiment, format), never per request.
 type renderCache struct {
 	lru    *lru
 	group  flightGroup
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	shared atomic.Uint64 // requests absorbed by an in-flight render
+
+	staleMu sync.Mutex
+	stale   map[string][]byte // last successful render per key
 }
 
 func newRenderCache(size int) *renderCache {
@@ -136,10 +144,37 @@ func (c *renderCache) get(key string, render func() ([]byte, error)) ([]byte, er
 			return nil, err
 		}
 		c.lru.put(key, b)
+		c.putStale(key, b)
 		return b, nil
 	})
 	if shared {
 		c.shared.Add(1)
 	}
 	return b, err
+}
+
+// putStale records the last successful render for the degraded path.
+func (c *renderCache) putStale(key string, b []byte) {
+	c.staleMu.Lock()
+	defer c.staleMu.Unlock()
+	if c.stale == nil {
+		c.stale = make(map[string][]byte)
+	}
+	c.stale[key] = b
+}
+
+// getStale returns the last-known-good render for key, if any ever
+// succeeded in this process.
+func (c *renderCache) getStale(key string) ([]byte, bool) {
+	c.staleMu.Lock()
+	defer c.staleMu.Unlock()
+	b, ok := c.stale[key]
+	return b, ok
+}
+
+// staleLen reports the last-known-good store size for /metrics.
+func (c *renderCache) staleLen() int {
+	c.staleMu.Lock()
+	defer c.staleMu.Unlock()
+	return len(c.stale)
 }

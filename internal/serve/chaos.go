@@ -1,0 +1,159 @@
+package serve
+
+// Opt-in request-level fault injection for resilience drills. When
+// Config.Chaos is set, a request may carry a fault plan (internal/fault)
+// in the X-Fault-Plan header; the serve section of that plan then injects
+// latency, pre-handler failures, render faults and gate holds into that
+// request only. The flag gates the whole surface: on a production server
+// the header is inert and costs one map lookup. Chaos decisions are drawn
+// from per-seed injectors that persist across requests, so a drill script
+// replaying a seed exercises the same failure mix every time.
+
+import (
+	"context"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// FaultPlanHeader carries a JSON fault plan on chaos-enabled servers.
+const FaultPlanHeader = "X-Fault-Plan"
+
+// maxChaosSeeds bounds the per-seed injector table; past it the table is
+// reset rather than grown, so hostile headers cannot balloon memory.
+const maxChaosSeeds = 64
+
+// chaosState is the per-request chaos context: the request's one-shot
+// decision plus the injector and plan for per-attempt render draws.
+type chaosState struct {
+	dec  fault.Decision
+	inj  *fault.ServeInjector
+	plan fault.ServePlan
+}
+
+// chaosKey carries the *chaosState through the request context.
+type chaosKey struct{}
+
+// chaosTable hands out one ServeInjector per plan seed, persistent across
+// requests so the rng stream advances (ErrorProb 0.3 fails ~30% of
+// requests, not deterministically all or none).
+type chaosTable struct {
+	mu   sync.Mutex
+	injs map[int64]*fault.ServeInjector
+}
+
+func (t *chaosTable) get(seed int64) *fault.ServeInjector {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.injs == nil || len(t.injs) >= maxChaosSeeds {
+		t.injs = make(map[int64]*fault.ServeInjector)
+	}
+	in, ok := t.injs[seed]
+	if !ok {
+		in = fault.NewServe(seed)
+		t.injs[seed] = in
+	}
+	return in
+}
+
+// chaos applies the request's fault plan, if any. It reports whether the
+// handler should still run; on false the response has been written (400
+// for a malformed plan, the injected status for a pre-handler failure).
+// On true the returned context carries the chaos state for the render and
+// gate paths.
+func (s *Server) chaos(w http.ResponseWriter, r *http.Request) (context.Context, bool) {
+	ctx := r.Context()
+	if !s.cfg.Chaos {
+		return ctx, true
+	}
+	hdr := r.Header.Get(FaultPlanHeader)
+	if hdr == "" {
+		return ctx, true
+	}
+	plan, err := fault.ParsePlan([]byte(hdr))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad "+FaultPlanHeader+": "+err.Error())
+		return ctx, false
+	}
+	if plan.Serve == nil {
+		return ctx, true
+	}
+	st := &chaosState{inj: s.chaosInjs.get(plan.Seed), plan: *plan.Serve}
+	st.dec = st.inj.Decide(st.plan)
+	if st.dec.Delay > 0 && !sleepCtx(ctx, st.dec.Delay) {
+		httpError(w, http.StatusServiceUnavailable, ctx.Err().Error())
+		return ctx, false
+	}
+	if st.dec.Fail {
+		s.metrics.chaosFailures.Add(1)
+		httpError(w, st.dec.Status, "injected fault")
+		return ctx, false
+	}
+	return context.WithValue(ctx, chaosKey{}, st), true
+}
+
+// chaosFrom returns the request's chaos state, nil outside a chaos run.
+func chaosFrom(ctx context.Context) *chaosState {
+	st, _ := ctx.Value(chaosKey{}).(*chaosState)
+	return st
+}
+
+// gateHold returns the extra time each gate slot should be held for this
+// request (zero outside chaos).
+func gateHold(ctx context.Context) time.Duration {
+	if st := chaosFrom(ctx); st != nil {
+		return st.dec.GateHold
+	}
+	return 0
+}
+
+// renderFault draws one render-attempt fault for this request. Each call
+// redraws, so a retried render can succeed — exactly the transient-failure
+// shape the batch retry loop is built for.
+func renderFault(ctx context.Context) error {
+	st := chaosFrom(ctx)
+	if st == nil {
+		return nil
+	}
+	if st.inj.Decide(fault.ServePlan{RenderErrorProb: st.plan.RenderErrorProb}).RenderFault {
+		return fault.Injectedf("render fault")
+	}
+	return nil
+}
+
+// Retry geometry for transient (injected) render failures in the batch
+// path: renderRetries attempts total, exponential backoff from retryBase
+// with deterministic per-(id, attempt) jitter so parallel workers retrying
+// the same wave do not stampede in lockstep.
+const (
+	renderRetries = 3
+	retryBase     = 2 * time.Millisecond
+)
+
+// retryBackoff returns the sleep before retry attempt (1-based, after the
+// attempt-th failure). Jitter is a hash of (id, attempt) rather than a
+// shared rng draw: it spreads workers without making wall-clock behavior
+// depend on scheduling order.
+func retryBackoff(id string, attempt int) time.Duration {
+	backoff := retryBase << (attempt - 1)
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{byte(attempt)})
+	return backoff + time.Duration(h.Sum64()%uint64(backoff))
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, reporting whether the
+// full duration elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

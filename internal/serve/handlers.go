@@ -14,6 +14,7 @@ import (
 	"net/http"
 
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/mppt"
 	"repro/internal/pv"
 	"repro/internal/runner"
@@ -43,19 +44,30 @@ func (s *Server) handleExperimentsList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": infos})
 }
 
+// renderKey is the cache/stale-store key for one experiment render.
+func renderKey(id, format string) string {
+	if format == "csv" {
+		return "csv:" + id
+	}
+	return "report:" + id
+}
+
 // renderExperiment produces the cached response body for one experiment in
 // the requested format, running the cold render under the simulation gate.
 // The cache key is just the ID (per format): registry outputs are
-// deterministic.
+// deterministic. Under a chaos plan, an injected render fault fails the
+// attempt before the cache is consulted (so retries exercise the full
+// path) and an injected gate hold stretches the slot occupancy.
 func (s *Server) renderExperiment(r *http.Request, id, format string) ([]byte, error) {
 	render := expt.Render
-	key := "report:" + id
 	if format == "csv" {
 		render = expt.RenderCSV
-		key = "csv:" + id
 	}
-	return s.reports.get(key, func() (body []byte, err error) {
-		gateErr := s.gate.Do(r.Context(), func() error {
+	if err := renderFault(r.Context()); err != nil {
+		return nil, err
+	}
+	return s.reports.get(renderKey(id, format), func() (body []byte, err error) {
+		gateErr := s.gate.DoHeld(r.Context(), gateHold(r.Context()), func() error {
 			body, err = render(id)
 			return nil
 		})
@@ -64,6 +76,41 @@ func (s *Server) renderExperiment(r *http.Request, id, format string) ([]byte, e
 		}
 		return body, err
 	})
+}
+
+// renderExperimentRetry is renderExperiment with a bounded
+// exponential-backoff retry loop around transient, injected failures
+// (fault.ErrInjected). Real render errors — unknown IDs, summary-only
+// CSVs — are permanent and return immediately; retrying them would only
+// triple the latency of every 404.
+func (s *Server) renderExperimentRetry(r *http.Request, id, format string) ([]byte, error) {
+	for attempt := 1; ; attempt++ {
+		body, err := s.renderExperiment(r, id, format)
+		if err == nil || !errors.Is(err, fault.ErrInjected) || attempt >= renderRetries {
+			return body, err
+		}
+		s.metrics.renderRetries.Add(1)
+		if !sleepCtx(r.Context(), retryBackoff(id, attempt)) {
+			return nil, r.Context().Err()
+		}
+	}
+}
+
+// serveStale attempts the degraded path: if err means the gate was too
+// saturated to render in time and a last-known-good copy exists, it
+// reports that copy for serving with a Warning header (RFC 7234's 110,
+// "response is stale"). The caller still owns the Content-Type.
+func (s *Server) serveStale(w http.ResponseWriter, r *http.Request, key string, err error) ([]byte, bool) {
+	if r.Context().Err() == nil {
+		return nil, false // a real failure, not saturation: no masking
+	}
+	body, ok := s.reports.getStale(key)
+	if !ok {
+		return nil, false
+	}
+	s.metrics.staleServed.Add(1)
+	w.Header().Set("Warning", `110 hemserved "stale response: server saturated"`)
+	return body, true
 }
 
 // handleExperimentGet serves one experiment report (text) or its series
@@ -80,8 +127,12 @@ func (s *Server) handleExperimentGet(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := s.renderExperiment(r, id, format)
 	if err != nil {
-		writeExperimentError(w, r, err)
-		return
+		stale, ok := s.serveStale(w, r, renderKey(id, format), err)
+		if !ok {
+			writeExperimentError(w, r, err)
+			return
+		}
+		body = stale
 	}
 	if format == "csv" {
 		w.Header().Set("Content-Type", "text/csv")
@@ -109,7 +160,7 @@ func (s *Server) handleExperimentTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	key := "trace:" + traceFormat + ":" + id
 	body, err := s.reports.get(key, func() (body []byte, err error) {
-		gateErr := s.gate.Do(r.Context(), func() error {
+		gateErr := s.gate.DoHeld(r.Context(), gateHold(r.Context()), func() error {
 			body, err = expt.RenderTrace(id, traceFormat)
 			return nil
 		})
@@ -119,8 +170,12 @@ func (s *Server) handleExperimentTrace(w http.ResponseWriter, r *http.Request) {
 		return body, err
 	})
 	if err != nil {
-		writeExperimentError(w, r, err)
-		return
+		stale, ok := s.serveStale(w, r, key, err)
+		if !ok {
+			writeExperimentError(w, r, err)
+			return
+		}
+		body = stale
 	}
 	if traceFormat == trace.FormatChrome {
 		w.Header().Set("Content-Type", "application/json")
@@ -161,7 +216,7 @@ func (s *Server) handleExperimentsBatch(w http.ResponseWriter, r *http.Request) 
 	jobs := make([]runner.Job, len(ids))
 	for i, id := range ids {
 		jobs[i] = runner.Job{ID: id, Run: func(jw io.Writer) error {
-			body, err := s.renderExperiment(r, id, "")
+			body, err := s.renderExperimentRetry(r, id, "")
 			if err != nil {
 				return err
 			}
@@ -360,6 +415,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"capacity":  s.gate.Cap(),
 			"in_flight": s.gate.InFlight(),
 			"waited":    s.gate.Waited(),
+		},
+		"resilience": map[string]any{
+			"chaos_enabled":     s.cfg.Chaos,
+			"injected_failures": s.metrics.chaosFailures.Load(),
+			"render_retries":    s.metrics.renderRetries.Load(),
+			"stale_served":      s.metrics.staleServed.Load(),
+			"stale_store_size":  s.reports.staleLen(),
 		},
 		"log_dropped": s.log.droppedLines(),
 	}))

@@ -62,6 +62,13 @@ type metrics struct {
 	start    time.Time
 	inFlight atomic.Int64
 
+	// Resilience counters: injected pre-handler failures (chaos mode),
+	// render retries after transient faults, and degraded-mode stale
+	// responses served under saturation.
+	chaosFailures atomic.Uint64
+	renderRetries atomic.Uint64
+	staleServed   atomic.Uint64
+
 	mu       sync.Mutex
 	requests map[string]*routeStats // route label -> stats
 }

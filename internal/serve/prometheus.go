@@ -87,5 +87,10 @@ func (s *Server) writePrometheus(w io.Writer) {
 	gauge("hemserved_gate_in_flight", "Simulations currently running.", float64(s.gate.InFlight()))
 	counter("hemserved_gate_waited_total", "Requests that queued at the gate.", s.gate.Waited())
 
+	counter("hemserved_chaos_injected_failures_total", "Requests failed by an injected fault plan.", s.metrics.chaosFailures.Load())
+	counter("hemserved_render_retries_total", "Batch render attempts retried after a transient fault.", s.metrics.renderRetries.Load())
+	counter("hemserved_stale_served_total", "Degraded-mode responses served from the stale store.", s.metrics.staleServed.Load())
+	gauge("hemserved_stale_store_entries", "Last-known-good renders held for degraded mode.", float64(s.reports.staleLen()))
+
 	counter("hemserved_log_dropped_total", "Access-log lines lost to write or marshal failures.", s.log.droppedLines())
 }

@@ -56,17 +56,24 @@ type Config struct {
 
 	// AccessLog receives one JSON line per request; nil disables logging.
 	AccessLog io.Writer
+
+	// Chaos enables request-level fault injection via the X-Fault-Plan
+	// header (chaos.go). Off by default; the header is ignored — never
+	// parsed — when this is false, so the chaos surface cannot be reached
+	// on a server that did not opt in.
+	Chaos bool
 }
 
 // Server serves the experiment registry and the solver endpoints.
 // Construct with New; a Server is safe for concurrent use.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	gate    *runner.Gate
-	reports *renderCache
-	metrics *metrics
-	log     *requestLog
+	cfg       Config
+	mux       *http.ServeMux
+	gate      *runner.Gate
+	reports   *renderCache
+	metrics   *metrics
+	log       *requestLog
+	chaosInjs chaosTable
 
 	// Default calibrated models and the pre-characterised MPPT plan table
 	// (all immutable after construction, so shareable across requests).
@@ -133,7 +140,10 @@ func (s *Server) instrument(label string, h http.HandlerFunc) http.Handler {
 		defer s.metrics.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		h(sw, r.WithContext(ctx))
+		r = r.WithContext(ctx)
+		if cctx, ok := s.chaos(sw, r); ok {
+			h(sw, r.WithContext(cctx))
+		}
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
