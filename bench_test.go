@@ -194,6 +194,20 @@ func BenchmarkHeadlineSavings(b *testing.B) {
 	b.ReportMetric(best*100, "best-saving-%")
 }
 
+// BenchmarkKernelFullRun times one representative registry experiment end to
+// end (Fig. 11b: the longest transient in the registry — MPPT, sprinting and
+// bypass through a light dip). This is the simulation-kernel gate: it is what
+// `benchguard -suite sim` measures as sim_full_run, and what the warm-started
+// PV solver (DESIGN.md Sec. 10) is meant to speed up.
+func BenchmarkKernelFullRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Render("fig11b"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md Sec. 5) ---
 
 // BenchmarkAblationSprintFactor sweeps the sprint factor and reports the

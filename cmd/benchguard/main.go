@@ -1,15 +1,23 @@
-// Command benchguard is the benchmark regression gate for the serving hot
-// paths. It measures four paths in-process — PV solve cached and uncached,
-// one registry report render, and the cached experiment HTTP handler —
-// writes the measured ns/op to a JSON file, and exits non-zero if any path
-// regressed more than the tolerance versus the committed baseline. CI runs
-// it after the unit tests; refresh the baseline deliberately with -update
-// after an intentional performance change.
+// Command benchguard is the benchmark regression gate for the hot paths.
+// Two suites are guarded, each with its own committed baseline:
+//
+//   - serve (BENCH_serve.json): PV solve cached and uncached, one registry
+//     report render, and the cached experiment HTTP handler.
+//   - sim (BENCH_sim.json): the simulation kernel — the warm-started PV
+//     solve versus the stateless bisection reference, a 2000-step circuit
+//     run, and one full registry experiment end to end.
+//
+// It measures each path in-process, writes the measured ns/op to a JSON
+// file, and exits non-zero if any path regressed more than the tolerance
+// versus the committed baseline (-report-only prints regressions without
+// failing, for noisy CI runners). CI runs it after the unit tests; refresh
+// a baseline deliberately with -update after an intentional performance
+// change.
 //
 // Usage:
 //
-//	benchguard [-baseline BENCH_serve.json] [-out measured.json]
-//	           [-tolerance 0.25] [-benchtime 200ms] [-update]
+//	benchguard [-suite serve|sim] [-baseline FILE] [-out measured.json]
+//	           [-tolerance 0.25] [-benchtime 200ms] [-update] [-report-only]
 package main
 
 import (
@@ -22,8 +30,12 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
 	"repro/internal/expt"
 	"repro/internal/pv"
+	"repro/internal/reg"
 	"repro/internal/serve"
 )
 
@@ -80,6 +92,76 @@ func hotPaths() map[string]hotPath {
 	}
 }
 
+// benchSink keeps measured loops from being optimised away.
+var benchSink float64
+
+// simPaths returns the simulation-kernel paths guarded by BENCH_sim.json.
+// The warm path keeps one pv.SolverState alive across iterations, mirroring
+// how circuit.State threads it through a run; the voltage ramps in µV steps
+// so consecutive solves stay close, like vcap between timesteps.
+func simPaths() map[string]hotPath {
+	cell := pv.NewCell()
+	var state pv.SolverState
+	warmIdx, refIdx := 0, 0
+	rampVoltage := func(i int) float64 { return 0.95 + 1e-6*float64(i%1000) }
+
+	circuitRun := func() error {
+		storage, err := cap.New(100e-6, 1.0, 2.0)
+		if err != nil {
+			return err
+		}
+		sim, err := circuit.New(circuit.Config{
+			Cell:        cell,
+			Proc:        cpu.NewProcessor(),
+			Reg:         reg.NewSC(),
+			Cap:         storage,
+			Irradiance:  circuit.ConstantIrradiance(1.0),
+			Controller:  &circuit.FixedPoint{Supply: 0.5},
+			ClockLevels: []float64{10e6, 20e6, 40e6, 80e6},
+			Step:        5e-6,
+			MaxTime:     2000 * 5e-6,
+		})
+		if err != nil {
+			return err
+		}
+		_, err = sim.Run()
+		return err
+	}
+
+	return map[string]hotPath{
+		"cell_current_warm": func(n int) error {
+			for i := 0; i < n; i++ {
+				benchSink = cell.CurrentWarm(rampVoltage(warmIdx), 0.8, &state)
+				warmIdx++
+			}
+			return nil
+		},
+		"cell_current_reference": func(n int) error {
+			for i := 0; i < n; i++ {
+				benchSink = cell.CurrentReference(rampVoltage(refIdx), 0.8)
+				refIdx++
+			}
+			return nil
+		},
+		"circuit_run_2000step": func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := circuitRun(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"sim_full_run": func(n int) error {
+			for i := 0; i < n; i++ {
+				if _, err := expt.Render("fig11b"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
 // measure times p until the budget is spent and returns ns/op. One
 // untimed warm-up iteration absorbs cold caches and lazy allocations.
 func measure(p hotPath, budget time.Duration) (float64, error) {
@@ -115,17 +197,30 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
 	var (
-		baselinePath = fs.String("baseline", "BENCH_serve.json", "committed baseline to compare against")
+		suite        = fs.String("suite", "serve", "path suite to guard: serve or sim")
+		baselinePath = fs.String("baseline", "", "committed baseline to compare against (default BENCH_<suite>.json)")
 		outPath      = fs.String("out", "", "also write measured ns/op to this file")
 		tolerance    = fs.Float64("tolerance", 0.25, "allowed fractional regression per path")
 		benchtime    = fs.Duration("benchtime", 200*time.Millisecond, "measurement budget per path")
 		update       = fs.Bool("update", false, "rewrite the baseline instead of comparing")
+		reportOnly   = fs.Bool("report-only", false, "print regressions but exit zero (for noisy runners)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	paths := hotPaths()
+	var paths map[string]hotPath
+	switch *suite {
+	case "serve":
+		paths = hotPaths()
+	case "sim":
+		paths = simPaths()
+	default:
+		return fmt.Errorf("unknown suite %q (want serve or sim)", *suite)
+	}
+	if *baselinePath == "" {
+		*baselinePath = "BENCH_" + *suite + ".json"
+	}
 	names := make([]string, 0, len(paths))
 	for n := range paths {
 		names = append(names, n)
@@ -133,7 +228,8 @@ func run(args []string) error {
 	sort.Strings(names)
 
 	measured := baselineFile{
-		Note:       "ns/op baselines for the hemserved hot paths; refresh deliberately with: go run ./cmd/benchguard -update",
+		Note: fmt.Sprintf("ns/op baselines for the %s hot paths; refresh deliberately with: go run ./cmd/benchguard -suite %s -update",
+			*suite, *suite),
 		Benchmarks: make(map[string]float64, len(names)),
 	}
 	for _, name := range names {
@@ -191,6 +287,11 @@ func run(args []string) error {
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+		}
+		if *reportOnly {
+			fmt.Printf("%d hot path(s) regressed beyond +%.0f%% (report-only: not failing)\n",
+				len(regressions), 100**tolerance)
+			return nil
 		}
 		return fmt.Errorf("%d hot path(s) regressed beyond +%.0f%%", len(regressions), 100**tolerance)
 	}

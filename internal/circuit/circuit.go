@@ -32,6 +32,10 @@ var (
 
 	// ErrInvalidStep indicates a non-positive integration step or horizon.
 	ErrInvalidStep = errors.New("circuit: step and max time must be positive")
+
+	// ErrInvalidClockLevel indicates a clock level that is negative, NaN or
+	// infinite.
+	ErrInvalidClockLevel = errors.New("circuit: clock levels must be finite and non-negative")
 )
 
 // Storage is the energy store at the harvester node. *cap.Capacitor is the
@@ -227,6 +231,12 @@ type State struct {
 	cyclesDone float64
 	compAbove  []bool
 
+	// pvSolver warm-starts the cell's implicit-equation solve across steps:
+	// vcap moves slowly per step, so the previous operating point lets
+	// Newton replace the bisection's ~45 exponentials with 1-2. Results are
+	// bit-identical to the stateless solve (see pv.CurrentWarm).
+	pvSolver pv.SolverState
+
 	stopRequested bool
 	stopReason    string
 
@@ -363,10 +373,23 @@ func New(cfg Config) (*Simulator, error) {
 	sim := &Simulator{}
 	sim.state.cfg = cfg
 	if len(cfg.ClockLevels) > 0 {
-		// Copy and sort ascending so quantisation is a simple scan.
+		// Validate, copy, sort ascending and deduplicate once, so the
+		// per-step quantisation is a binary search over a strictly
+		// increasing slice.
+		for _, l := range cfg.ClockLevels {
+			if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+				return nil, fmt.Errorf("%w: got %g", ErrInvalidClockLevel, l)
+			}
+		}
 		levels := append([]float64(nil), cfg.ClockLevels...)
 		sort.Float64s(levels)
-		sim.state.cfg.ClockLevels = levels
+		uniq := levels[:1]
+		for _, l := range levels[1:] {
+			if l != uniq[len(uniq)-1] {
+				uniq = append(uniq, l)
+			}
+		}
+		sim.state.cfg.ClockLevels = uniq
 	}
 	sim.state.compAbove = make([]bool, len(cfg.Comparators))
 	return sim, nil
@@ -378,9 +401,11 @@ func (s *Simulator) Run() (*Outcome, error) {
 	st := &s.state
 	cfg := &st.cfg
 
+	steps := int(math.Ceil(cfg.MaxTime / cfg.Step))
 	var waveform *Trace
 	if cfg.TraceEvery > 0 {
-		waveform = &Trace{}
+		// Pre-size the waveform so the step loop never grows it.
+		waveform = &Trace{Samples: make([]Sample, 0, steps/cfg.TraceEvery+1)}
 	}
 
 	// Initialise comparator states from the starting voltage.
@@ -399,7 +424,6 @@ func (s *Simulator) Run() (*Outcome, error) {
 	prevBypass := st.bypass
 	prevHalted := false
 
-	steps := int(math.Ceil(cfg.MaxTime / cfg.Step))
 	for k := 0; k < steps; k++ {
 		st.time = float64(k) * cfg.Step
 		irr := cfg.Irradiance(st.time)
@@ -413,7 +437,7 @@ func (s *Simulator) Run() (*Outcome, error) {
 			if !st.bypass {
 				kind = EventBypassOff
 			}
-			st.outcome.Events = append(st.outcome.Events, Event{Time: st.time, Kind: kind})
+			st.recordEvent(kind)
 			if st.Tracing() {
 				st.TraceInstant("circuit."+kind.String(), trace.Args{
 					"vcap_v": vcap, "supply_v": st.effSupply,
@@ -426,7 +450,7 @@ func (s *Simulator) Run() (*Outcome, error) {
 			if !st.halted {
 				kind = EventResume
 			}
-			st.outcome.Events = append(st.outcome.Events, Event{Time: st.time, Kind: kind})
+			st.recordEvent(kind)
 			if st.Tracing() {
 				st.TraceInstant("circuit."+kind.String(), trace.Args{
 					"vcap_v": vcap, "cycles_done": st.cyclesDone,
@@ -436,8 +460,9 @@ func (s *Simulator) Run() (*Outcome, error) {
 		}
 
 		// Harvested current at the present node voltage; negative values
-		// (node above Voc) discharge into the cell's diode.
-		iSolar := cfg.Cell.Current(vcap, irr)
+		// (node above Voc) discharge into the cell's diode. The solve is
+		// warm-started from the previous step's operating point.
+		iSolar := cfg.Cell.CurrentWarm(vcap, irr, &st.pvSolver)
 		var aux float64
 		if cfg.AuxLoad != nil {
 			if aux = cfg.AuxLoad(st.time); aux < 0 {
@@ -586,19 +611,36 @@ func (st *State) resolveOperatingPoint(vcap float64) {
 // quantizeClock snaps a commanded frequency to the configured clock levels:
 // the highest level at or below the command, or zero when the command is
 // below every level. With no levels configured the clock is continuous.
+// New sorted and deduplicated the levels, so the lookup is a binary search
+// instead of the former per-step linear scan.
 func (st *State) quantizeClock(f float64) float64 {
 	levels := st.cfg.ClockLevels
 	if len(levels) == 0 || f <= 0 {
 		return f
 	}
-	snapped := 0.0
-	for _, l := range levels {
-		if l > f {
-			break
+	// Invariant: levels[:lo] <= f < levels[hi:].
+	lo, hi := 0, len(levels)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if levels[mid] <= f {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		snapped = l
 	}
-	return snapped
+	if lo == 0 {
+		return 0
+	}
+	return levels[lo-1]
+}
+
+// recordEvent appends a mode transition to the outcome, allocating the
+// event slice lazily with enough room that a typical run never regrows it.
+func (st *State) recordEvent(kind EventKind) {
+	if st.outcome.Events == nil {
+		st.outcome.Events = make([]Event, 0, 16)
+	}
+	st.outcome.Events = append(st.outcome.Events, Event{Time: st.time, Kind: kind})
 }
 
 // fireComparators detects threshold crossings with hysteresis and delivers

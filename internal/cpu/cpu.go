@@ -60,6 +60,12 @@ type Processor struct {
 	dibl             float64 // kDIBL (1/V), exponential voltage sensitivity of leakage
 	minVoltage       float64 // lowest functional supply voltage (V)
 	maxVoltage       float64 // highest rated supply voltage (V)
+
+	// Derived at construction (NewProcessor) after the options run; the
+	// parameter fields never change afterwards, so these are plain caches
+	// of the exact values the methods would otherwise recompute per call.
+	powNorm    float64 // Pow(Vnom-Vth, alpha)/Vnom, the alpha-law denominator
+	fmaxAtVmax float64 // MaxFrequency(maxVoltage)
 }
 
 // Option configures a Processor.
@@ -180,6 +186,8 @@ func NewProcessor(opts ...Option) *Processor {
 	for _, opt := range opts {
 		opt(p)
 	}
+	p.powNorm = math.Pow(p.nominalVoltage-p.thresholdVoltage, p.alpha) / p.nominalVoltage
+	p.fmaxAtVmax = p.MaxFrequency(p.maxVoltage)
 	return p
 }
 
@@ -199,8 +207,7 @@ func (p *Processor) MaxFrequency(v float64) float64 {
 	if v <= p.thresholdVoltage {
 		return 0
 	}
-	norm := math.Pow(p.nominalVoltage-p.thresholdVoltage, p.alpha) / p.nominalVoltage
-	return p.nominalFrequency * math.Pow(v-p.thresholdVoltage, p.alpha) / v / norm
+	return p.nominalFrequency * math.Pow(v-p.thresholdVoltage, p.alpha) / v / p.powNorm
 }
 
 // DynamicPower returns the switching power (W) at supply voltage v and clock
@@ -321,20 +328,68 @@ func (p *Processor) MinimizeEnergyOver(energyAt func(v float64) float64) (voltag
 // core sustains clock frequency f. It returns ErrUnreachableFrequency if f
 // exceeds MaxFrequency(maxVoltage).
 func (p *Processor) VoltageForFrequency(f float64) (float64, error) {
+	return p.VoltageForFrequencyWarm(f, nil)
+}
+
+// FreqSolverState caches the probe trajectory of VoltageForFrequencyWarm
+// across calls. The zero value is a valid empty cache. The cache records
+// every bisection probe voltage together with the exact MaxFrequency value
+// computed there; a later solve re-uses a recorded value whenever its own
+// probe voltage is identical, which holds for the whole shared prefix of
+// the two bisection paths because the start bracket is fixed and each probe
+// is determined by the preceding decisions. A DVFS controller re-solving a
+// slowly drifting frequency target therefore pays a handful of fresh
+// alpha-law evaluations per step instead of ~24. Not safe for concurrent
+// use; results are exactly those of the stateless VoltageForFrequency.
+type FreqSolverState struct {
+	proc *Processor // identity of the processor the trajectory belongs to
+	n    int        // recorded prefix length
+	mid  [maxSolverIterations]float64
+	fmax [maxSolverIterations]float64
+}
+
+// VoltageForFrequencyWarm is VoltageForFrequency with a per-caller probe
+// cache. It returns bit-identical results for every input; state (which may
+// be nil) only changes how many alpha-power-law evaluations the solve costs.
+func (p *Processor) VoltageForFrequencyWarm(f float64, state *FreqSolverState) (float64, error) {
 	if f <= 0 {
 		return p.minVoltage, nil
 	}
-	if f > p.MaxFrequency(p.maxVoltage) {
+	if f > p.fmaxAtVmax {
 		return 0, ErrUnreachableFrequency
+	}
+	n := 0
+	if state != nil {
+		if state.proc == p {
+			n = state.n
+		} else {
+			// Parameters may differ from the recorded run: drop it. The
+			// processor is immutable after construction, so pointer
+			// identity is a sound cache key.
+			*state = FreqSolverState{proc: p}
+		}
 	}
 	lo, hi := p.thresholdVoltage, p.maxVoltage
 	for iter := 0; iter < maxSolverIterations && hi-lo > voltageSolveTolerance; iter++ {
 		mid := 0.5 * (lo + hi)
-		if p.MaxFrequency(mid) < f {
+		var fm float64
+		if iter < n && state.mid[iter] == mid {
+			fm = state.fmax[iter]
+		} else {
+			fm = p.MaxFrequency(mid)
+			if state != nil {
+				state.mid[iter], state.fmax[iter] = mid, fm
+				n = iter + 1
+			}
+		}
+		if fm < f {
 			lo = mid
 		} else {
 			hi = mid
 		}
+	}
+	if state != nil {
+		state.n = n
 	}
 	v := 0.5 * (lo + hi)
 	if v < p.minVoltage {

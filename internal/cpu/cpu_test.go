@@ -377,3 +377,61 @@ func TestTemperatureEffects(t *testing.T) {
 		t.Errorf("hot MEP energy %.4g should exceed cold %.4g", eHot, eCold)
 	}
 }
+
+// TestVoltageForFrequencyWarmParity checks that the warm-started voltage
+// solve is bit-identical to the stateless one under the access patterns the
+// schedulers produce: slowly drifting targets, jumps, repeats, unreachable
+// and non-positive frequencies, and a processor swap mid-state.
+func TestVoltageForFrequencyWarmParity(t *testing.T) {
+	p := NewProcessor()
+	q := NewProcessor(WithAlpha(1.6), WithThresholdVoltage(0.33))
+	var state FreqSolverState
+
+	check := func(proc *Processor, f float64) {
+		t.Helper()
+		wantV, wantErr := proc.VoltageForFrequency(f)
+		gotV, gotErr := proc.VoltageForFrequencyWarm(f, &state)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("f=%g: error mismatch warm=%v stateless=%v", f, gotErr, wantErr)
+		}
+		if wantErr == nil && math.Float64bits(gotV) != math.Float64bits(wantV) {
+			t.Fatalf("f=%g: warm %v != stateless %v", f, gotV, wantV)
+		}
+	}
+
+	// Slow drift, like a deadline controller's catch-up rate.
+	f := 40e6
+	for i := 0; i < 5000; i++ {
+		check(p, f)
+		f *= 1.0001
+	}
+	// Jumps, repeats, and edge cases on the same state.
+	for _, f := range []float64{80e6, 80e6, 1e6, 0, -5, 1e12, math.Inf(1), 200e6, 3e6} {
+		check(p, f)
+	}
+	// Swapping processors must invalidate the cached trajectory.
+	for i := 0; i < 100; i++ {
+		check(q, 30e6+1e4*float64(i))
+		check(p, 30e6+1e4*float64(i))
+	}
+}
+
+// TestVoltageForFrequencyWarmReusesProbes verifies the cache actually short-
+// circuits alpha-law evaluations on repeated solves for the same frequency.
+func TestVoltageForFrequencyWarmReusesProbes(t *testing.T) {
+	p := NewProcessor()
+	var state FreqSolverState
+	if _, err := p.VoltageForFrequencyWarm(55e6, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state.n == 0 {
+		t.Fatal("no probe trajectory recorded")
+	}
+	before := state.n
+	if _, err := p.VoltageForFrequencyWarm(55e6, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state.n != before {
+		t.Fatalf("identical solve changed trajectory length: %d -> %d", before, state.n)
+	}
+}

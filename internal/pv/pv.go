@@ -134,6 +134,14 @@ func (c *Cell) photoCurrent(irradiance float64) float64 {
 // voltage v (V) and the given irradiance fraction. Voltages above open
 // circuit yield negative current (the cell would sink current); callers that
 // model harvesting should treat negative values as zero harvested power.
+//
+// With series resistance the equation is implicit in I:
+// f(I) = Iph - Id(V+I*Rs) - (V+I*Rs)/Rsh - I is strictly decreasing in I.
+// The solve runs on the Newton fast path with a bit-exact bisection replay
+// (see newton.go), falling back to the reference bisection whenever the
+// fast path's assumptions fail; the result is bit-identical to
+// CurrentReference for every input. Transient simulators should prefer
+// CurrentWarm, which additionally warm-starts the solve across steps.
 func (c *Cell) Current(v, irradiance float64) float64 {
 	if irradiance <= 0 {
 		return 0
@@ -142,30 +150,7 @@ func (c *Cell) Current(v, irradiance float64) float64 {
 	if c.seriesResistance == 0 {
 		return iph - c.diodeCurrent(v) - v/c.shuntResistance
 	}
-	// With series resistance the equation is implicit in I. Solve by
-	// bisection on I in [iMin, iph]: f(I) = Iph - Id(V+I*Rs) - (V+I*Rs)/Rsh - I
-	// is strictly decreasing in I, so bisection is robust.
-	f := func(i float64) float64 {
-		vd := v + i*c.seriesResistance
-		return iph - c.diodeCurrent(vd) - vd/c.shuntResistance - i
-	}
-	lo, hi := -iph, iph // allow negative current beyond Voc
-	if f(lo) < 0 {
-		// Even the most negative candidate cannot satisfy the equation;
-		// extend downward geometrically (happens only far beyond Voc).
-		for iter := 0; f(lo) < 0 && iter < maxSolverIterations; iter++ {
-			lo *= 2
-		}
-	}
-	for iter := 0; iter < maxSolverIterations && hi-lo > 1e-12; iter++ {
-		mid := 0.5 * (lo + hi)
-		if f(mid) > 0 {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return 0.5 * (lo + hi)
+	return c.currentFast(v, iph, nil)
 }
 
 // diodeCurrent returns the diode branch current at diode voltage vd.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/circuit"
+	"repro/internal/cpu"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,11 @@ type DeadlineController struct {
 
 	sprinting    bool // the profile is in its fast second half
 	missReported bool // the deadline-miss event already fired
+
+	// vsolve warm-starts the per-step supply-voltage solve; the commanded
+	// rate drifts slowly, so the bisection's probe trajectory is nearly
+	// identical step to step (results are bit-identical either way).
+	vsolve cpu.FreqSolverState
 }
 
 var _ circuit.Controller = (*DeadlineController)(nil)
@@ -156,7 +162,7 @@ func (dc *DeadlineController) command(s *circuit.State) {
 		return
 	}
 
-	vdd, err := proc.VoltageForFrequency(f)
+	vdd, err := proc.VoltageForFrequencyWarm(f, &dc.vsolve)
 	if err != nil {
 		// Beyond the core's ceiling even at maximum voltage: saturate.
 		vdd = proc.MaxVoltage()

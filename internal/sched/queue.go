@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/circuit"
+	"repro/internal/cpu"
 )
 
 // QueueJob is one deadline-constrained job in a multi-job workload.
@@ -46,6 +47,10 @@ type QueueController struct {
 	missed     []bool
 	lastCycles float64
 	current    int // index into jobs; -1 when idle
+
+	// vsolve warm-starts the per-step supply-voltage solve (bit-identical
+	// results, far fewer alpha-power-law evaluations).
+	vsolve cpu.FreqSolverState
 }
 
 var _ circuit.Controller = (*QueueController)(nil)
@@ -143,7 +148,7 @@ func (qc *QueueController) dispatch(s *circuit.State) {
 		s.SetFrequency(rate)
 		return
 	}
-	vdd, err := proc.VoltageForFrequency(rate)
+	vdd, err := proc.VoltageForFrequencyWarm(rate, &qc.vsolve)
 	if err != nil {
 		vdd = proc.MaxVoltage()
 		rate = proc.MaxFrequency(vdd)
