@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/expt"
+	"repro/internal/fleet"
 	"repro/internal/mppt"
 	"repro/internal/pv"
 	"repro/internal/reg"
@@ -657,4 +659,27 @@ func BenchmarkAblationClockLevels(b *testing.B) {
 	}
 	b.ReportMetric(loss4*100, "4level-harvest-loss-%")
 	b.ReportMetric(loss16*100, "16level-harvest-loss-%")
+}
+
+// BenchmarkFleetRun measures the shared-clock fleet engine (internal/fleet)
+// at three population sizes, reporting nodes/sec: N battery-less nodes,
+// each integrating 500 steps under its own weather stream, advanced in
+// 2 ms epochs with aggregation at every barrier.
+func BenchmarkFleetRun(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var completed int
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(fleet.Config{
+					Nodes: n, Seed: 1, Horizon: 0.01, Epoch: 2e-3, Step: 2e-5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				completed = rep.Completed
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "nodes/s")
+			b.ReportMetric(float64(completed), "completed")
+		})
+	}
 }

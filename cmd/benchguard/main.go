@@ -34,6 +34,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cpu"
 	"repro/internal/expt"
+	"repro/internal/fleet"
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/serve"
@@ -154,6 +155,19 @@ func simPaths() map[string]hotPath {
 		"sim_full_run": func(n int) error {
 			for i := 0; i < n; i++ {
 				if _, err := expt.Render("fig11b"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		// The fleet engine end to end: 50 nodes, 500 steps each. The
+		// companion BenchmarkFleetRun (repo root) reports nodes/sec at
+		// N=100/1k/10k; this entry is the regression gate.
+		"fleet_run_50node": func(n int) error {
+			for i := 0; i < n; i++ {
+				if _, err := fleet.Run(fleet.Config{
+					Nodes: 50, Seed: 1, Horizon: 0.01, Epoch: 2e-3, Step: 2e-5,
+				}); err != nil {
 					return err
 				}
 			}

@@ -10,6 +10,7 @@
 //	GET  /api/v1/experiments/{id}       report (add ?format=csv for series)
 //	GET  /api/v1/experiments/{id}/trace simulation events (?format=chrome)
 //	POST /api/v1/experiments/batch      {"ids": ["fig2", ...]} or ["all"]
+//	GET  /api/v1/fleet/{spec}           shared-clock fleet report (n=100,seed=1,...)
 //	POST /api/v1/pv/solve               {"irradiance": 0.5, "points": 32}
 //	POST /api/v1/mppt/plan              {"pin_w": ...} or a crossing window
 //	GET  /metrics                       counters, latencies, cache hit rates

@@ -11,10 +11,18 @@
 // the -trace output as a fault.* event. Same plan + same seed is
 // byte-identical for every -j.
 //
+// With -fleet the command runs the shared-clock multi-node engine
+// (internal/fleet) instead of the figure experiments: N battery-less
+// nodes, each with a domain-separated weather stream derived from -seed,
+// advanced in epochs on the worker pool. The report on stdout is
+// byte-identical for every -j and every repetition of the same spec; the
+// nodes/sec line goes to stderr so piping stdout stays deterministic.
+//
 // Usage:
 //
 //	hemsim [-list] [-csv dir] [-trace file] [-faults plan.json] [-j N]
 //	       [-timing] [experiment...]
+//	hemsim -fleet n=1000[,horizon=0.05,...] [-seed S] [-trace file] [-j N]
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -50,6 +59,8 @@ func run(args []string, stdout io.Writer) error {
 	traceFile := fs.String("trace", "", "write traced experiments' simulation events to <file> (.json selects Chrome trace format, else JSONL)")
 	traceWall := fs.Bool("trace-wall", false, "add wall-clock runner spans (worker, queue wait) to the -trace output; non-deterministic")
 	faultsFile := fs.String("faults", "", "run chaos-capable experiments under the fault plan in <file> (JSON; requires -trace)")
+	fleetSpec := fs.String("fleet", "", "run a shared-clock node fleet with the given spec (e.g. n=1000 or n=500,horizon=0.1) instead of experiments")
+	seed := fs.Int64("seed", 0, "master seed for -fleet (overrides a seed= key in the spec)")
 	// Accept flags before and after the experiment IDs (`hemsim all -j 4`):
 	// the stdlib parser stops at the first positional, so re-enter it after
 	// consuming each one.
@@ -64,6 +75,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		targets = append(targets, rest[0])
 		rest = rest[1:]
+	}
+	if *fleetSpec != "" {
+		seedSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		return runFleet(*fleetSpec, *seed, seedSet, *jobs, *traceFile, stdout)
 	}
 	var plan *fault.Plan
 	if *faultsFile != "" {
@@ -182,6 +202,43 @@ func run(args []string, stdout io.Writer) error {
 	if *timing && len(work) > 1 {
 		writeTimingFooter(stdout, timings, *jobs, time.Since(start))
 	}
+	return nil
+}
+
+// runFleet executes one fleet run. The report bytes on stdout depend only
+// on the resolved spec — the determinism contract extends the experiments'
+// -j parity to fleets — so the wall-clock rate is printed to stderr.
+func runFleet(specText string, seed int64, seedSet bool, workers int, traceFile string, stdout io.Writer) error {
+	spec, err := fleet.ParseSpec(specText)
+	if err != nil {
+		return err
+	}
+	if seedSet {
+		spec.Seed = seed
+	}
+	cfg := spec.Config()
+	cfg.Workers = workers
+	var rec *trace.Recorder
+	if traceFile != "" {
+		rec = trace.NewRecorder()
+		cfg.Tracer = rec
+	}
+	start := time.Now()
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := rep.Report(stdout); err != nil {
+		return err
+	}
+	if traceFile != "" {
+		if err := writeTrace(traceFile, [][]trace.Event{rec.Events()}, nil, false); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "hemsim: fleet %s: %d nodes in %s (%.0f nodes/s, j=%d)\n",
+		spec, spec.N, elapsed.Round(time.Millisecond), float64(spec.N)/elapsed.Seconds(), workers)
 	return nil
 }
 

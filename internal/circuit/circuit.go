@@ -346,9 +346,23 @@ func (s *State) SetSupply(v float64) {
 // SetBypass switches between regulated and direct-connection operation.
 func (s *State) SetBypass(on bool) { s.bypass = on }
 
-// Simulator runs a configured transient simulation.
+// Simulator runs a configured transient simulation, either in one shot
+// (Run) or incrementally as a resumable stepper (Init / StepTo / Outcome,
+// see stepper.go). The two drive the identical per-step kernel, so a run
+// advanced in arbitrary StepTo increments is bit-identical to a single Run.
 type Simulator struct {
 	state State
+
+	// Stepper bookkeeping (stepper.go). steps is the integer step budget,
+	// next the index of the next step to execute.
+	steps       int
+	next        int
+	waveform    *Trace
+	prevBypass  bool
+	prevHalted  bool
+	initialized bool
+	finished    bool
+	finalized   bool
 }
 
 // New validates the configuration and returns a ready simulator.
@@ -396,156 +410,18 @@ func New(cfg Config) (*Simulator, error) {
 }
 
 // Run integrates the network until the job completes, the horizon elapses,
-// or (with StopOnBrownout) the processor halts. It may be called once.
+// or (with StopOnBrownout) the processor halts. It is a thin loop over the
+// resumable stepper (stepper.go): Init, step to the horizon, finalise.
+// It may be called once; mixing it with explicit StepTo calls simply
+// finishes whatever remains.
 func (s *Simulator) Run() (*Outcome, error) {
-	st := &s.state
-	cfg := &st.cfg
-
-	steps := int(math.Ceil(cfg.MaxTime / cfg.Step))
-	var waveform *Trace
-	if cfg.TraceEvery > 0 {
-		// Pre-size the waveform so the step loop never grows it.
-		waveform = &Trace{Samples: make([]Sample, 0, steps/cfg.TraceEvery+1)}
+	if err := s.Init(); err != nil {
+		return nil, err
 	}
-
-	// Initialise comparator states from the starting voltage.
-	v0 := cfg.Cap.Voltage()
-	for i, c := range cfg.Comparators {
-		st.compAbove[i] = v0 > c.Threshold
+	if _, err := s.StepTo(s.state.cfg.MaxTime); err != nil {
+		return nil, err
 	}
-
-	if st.Tracing() {
-		st.TraceBegin("circuit.run", trace.Args{
-			"step_s": cfg.Step, "max_time_s": cfg.MaxTime, "vcap0_v": v0,
-		})
-	}
-	cfg.Controller.Init(st)
-
-	prevBypass := st.bypass
-	prevHalted := false
-
-	for k := 0; k < steps; k++ {
-		st.time = float64(k) * cfg.Step
-		irr := cfg.Irradiance(st.time)
-
-		vcap := cfg.Cap.Voltage()
-		st.resolveOperatingPoint(vcap)
-
-		// Record mode transitions.
-		if st.bypass != prevBypass {
-			kind := EventBypassOn
-			if !st.bypass {
-				kind = EventBypassOff
-			}
-			st.recordEvent(kind)
-			if st.Tracing() {
-				st.TraceInstant("circuit."+kind.String(), trace.Args{
-					"vcap_v": vcap, "supply_v": st.effSupply,
-				})
-			}
-			prevBypass = st.bypass
-		}
-		if st.halted != prevHalted {
-			kind := EventHalt
-			if !st.halted {
-				kind = EventResume
-			}
-			st.recordEvent(kind)
-			if st.Tracing() {
-				st.TraceInstant("circuit."+kind.String(), trace.Args{
-					"vcap_v": vcap, "cycles_done": st.cyclesDone,
-				})
-			}
-			prevHalted = st.halted
-		}
-
-		// Harvested current at the present node voltage; negative values
-		// (node above Voc) discharge into the cell's diode. The solve is
-		// warm-started from the previous step's operating point.
-		iSolar := cfg.Cell.CurrentWarm(vcap, irr, &st.pvSolver)
-		var aux float64
-		if cfg.AuxLoad != nil {
-			if aux = cfg.AuxLoad(st.time); aux < 0 {
-				aux = 0
-			}
-			if vcap <= 0 {
-				aux = 0 // a collapsed node powers nothing
-			}
-		}
-		var iLoad float64
-		if vcap > 0 {
-			iLoad = (st.inputPow + aux) / vcap
-		}
-		cfg.Cap.ApplyCurrent(iSolar-iLoad, cfg.Step)
-		st.outcome.EnergyAux += aux * cfg.Step
-
-		// Energy and progress accounting.
-		st.solarPow = vcap * iSolar
-		if st.solarPow > 0 {
-			st.outcome.EnergyHarvested += st.solarPow * cfg.Step
-		}
-		st.outcome.EnergyDelivered += st.loadPow * cfg.Step
-		if loss := st.inputPow - st.loadPow; loss > 0 {
-			st.outcome.EnergyLost += loss * cfg.Step
-		}
-		st.cyclesDone += st.effFreq * cfg.Step
-
-		if st.halted && !st.outcome.BrownedOut {
-			st.outcome.BrownedOut = true
-			st.outcome.BrownoutTime = st.time
-		}
-
-		if waveform != nil && k%cfg.TraceEvery == 0 {
-			waveform.Samples = append(waveform.Samples, Sample{
-				Time:       st.time,
-				CapVoltage: cfg.Cap.Voltage(),
-				Supply:     st.effSupply,
-				Frequency:  st.effFreq,
-				SolarPower: st.solarPow,
-				LoadPower:  st.loadPow,
-				Bypass:     st.bypass,
-				Halted:     st.halted,
-			})
-		}
-
-		cfg.Controller.OnStep(st)
-		st.fireComparators(cfg.Cap.Voltage())
-
-		if cfg.JobCycles > 0 && st.cyclesDone >= cfg.JobCycles {
-			st.outcome.Completed = true
-			st.outcome.CompletionTime = st.time + cfg.Step
-			if st.Tracing() {
-				st.TraceInstant("circuit.complete", trace.Args{
-					"cycles_done": st.cyclesDone, "t_s": st.outcome.CompletionTime,
-				})
-			}
-			break
-		}
-		if cfg.StopOnBrownout && st.outcome.BrownedOut {
-			break
-		}
-		if st.stopRequested {
-			st.outcome.Stopped = true
-			st.outcome.StopReason = st.stopReason
-			st.outcome.StoppedAt = st.time
-			if st.Tracing() {
-				st.TraceInstant("circuit.stop", trace.Args{"reason": st.stopReason})
-			}
-			break
-		}
-	}
-
-	st.outcome.Duration = st.time + cfg.Step
-	st.outcome.CyclesDone = st.cyclesDone
-	st.outcome.FinalCapVoltage = cfg.Cap.Voltage()
-	st.outcome.Trace = waveform
-	if st.Tracing() {
-		st.TraceEnd("circuit.run", trace.Args{
-			"duration_s": st.outcome.Duration, "cycles_done": st.cyclesDone,
-			"harvested_j": st.outcome.EnergyHarvested, "final_vcap_v": st.outcome.FinalCapVoltage,
-		})
-	}
-	return &st.outcome, nil
+	return s.Outcome(), nil
 }
 
 // resolveOperatingPoint computes the effective supply, frequency and power

@@ -169,6 +169,8 @@ func registryList() []Experiment {
 		entry[*ExtShadingResult]("ext-shading", ExtShading, nil),
 		entry[*ExtDutyCycleResult]("ext-dutycycle", ExtDutyCycle, nil),
 		entry[*ExtTemperatureResult]("ext-temperature", ExtTemperature, nil),
+		tracedEntry(entry("ext-fleet", ExtFleet, nil),
+			func(tr trace.Tracer) error { _, err := extFleet(tr); return err }),
 	}
 }
 

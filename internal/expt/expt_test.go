@@ -324,8 +324,8 @@ func TestRegistryRunsEverything(t *testing.T) {
 		t.Skip("transient experiments are slow")
 	}
 	names := Names()
-	if len(names) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(names))
+	if len(names) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(names))
 	}
 	registry := Registry()
 	for _, name := range names {
@@ -347,8 +347,8 @@ func TestRegistryRunsEverything(t *testing.T) {
 func TestSeriesForCoversRegistry(t *testing.T) {
 	wantNoSeries := []string{
 		"ext-corners", "ext-domains", "ext-dutycycle", "ext-federation",
-		"ext-intermittent", "ext-shading", "ext-temperature", "ext-weather",
-		"headline",
+		"ext-fleet", "ext-intermittent", "ext-shading", "ext-temperature",
+		"ext-weather", "headline",
 	}
 	got := NoSeriesIDs()
 	if len(got) != len(wantNoSeries) {

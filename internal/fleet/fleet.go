@@ -1,0 +1,100 @@
+// Package fleet is the shared-clock multi-node engine: N battery-less
+// nodes, each a full transient circuit simulation with its own
+// domain-separated weather stream, advanced together in epochs on one
+// simulated clock. It is ROADMAP item 1 — the population-scale view the
+// paper's single test chip cannot give: distributions of completion time,
+// brownout exposure and harvest across per-node light diversity.
+//
+// Determinism contract (the repo's signature invariant, extended to
+// fleets): a fleet run is a pure function of its Spec. Per-node randomness
+// is derived with the same FNV-1a (seed, stream, domain) scheme as
+// internal/fault, so node k's weather is independent of every other node's
+// and of the worker count; nodes advance in parallel within an epoch but
+// all aggregation happens after the epoch barrier, in node-ID order.
+// Reports are therefore byte-identical across -j and across repeated
+// same-seed runs.
+//
+// The epoch structure is what makes fleets affordable: a node that has
+// finished (job complete or horizon reached) leaves the active set and
+// costs nothing in later epochs, so tails of long-running nodes do not pay
+// for the whole population.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Defaults for unset Config fields. The default geometry (50 ms horizon,
+// 2.5 ms epochs, 20 µs steps) keeps a 1000-node fleet around a second of
+// wall time while leaving room for per-node divergence: jobs deadline at
+// 80% of the horizon, and per-node site/light diversity spreads the
+// population across completion, brownout-and-recovery and starvation.
+const (
+	DefaultNodes   = 100
+	DefaultHorizon = 0.05   // s
+	DefaultEpoch   = 2.5e-3 // s
+	DefaultStep    = 2e-5   // s
+)
+
+// Config assembles a fleet run. The zero value of every field selects a
+// default; the only knobs most callers touch are Nodes and Seed.
+type Config struct {
+	// Nodes is the fleet size N. Defaults to DefaultNodes.
+	Nodes int
+	// Seed is the master seed every per-node stream is derived from.
+	Seed int64
+	// Horizon is the shared simulation end time (s).
+	Horizon float64
+	// Epoch is the shared-clock advance per scheduler round (s). Nodes
+	// run independently inside an epoch and synchronise at its end.
+	Epoch float64
+	// Step is the per-node integration timestep (s).
+	Step float64
+	// Workers bounds the goroutines advancing nodes within an epoch;
+	// < 1 means 1. It must not affect the report bytes — that is the
+	// point of the epoch barrier.
+	Workers int
+	// Tracer, when non-nil, receives fleet.* events (run span, per-epoch
+	// counters) on the sim clock. Events are emitted by the scheduler
+	// goroutine only, between barriers, so traces are deterministic too.
+	Tracer trace.Tracer
+}
+
+// withDefaults returns cfg with zero fields resolved.
+func (cfg Config) withDefaults() Config {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = DefaultNodes
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = DefaultHorizon
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = DefaultEpoch
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = DefaultStep
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return cfg
+}
+
+// Spec returns the canonical spec describing this config (defaults
+// resolved), the key under which runs are cached and reported.
+func (cfg Config) Spec() Spec {
+	cfg = cfg.withDefaults()
+	return Spec{N: cfg.Nodes, Seed: cfg.Seed, Horizon: cfg.Horizon, Epoch: cfg.Epoch, Step: cfg.Step}
+}
+
+// Run executes the fleet and returns its report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	nodes, err := buildNodes(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return schedule(cfg, nodes)
+}

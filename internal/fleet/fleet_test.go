@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testSpec is small enough to run in milliseconds while still producing a
+// mixed population (completions, brownouts, stragglers).
+const testSpec = "n=24,seed=11,horizon=0.02,epoch=1e-3,step=2e-5"
+
+// renderFleet runs the spec with the given worker count and returns the
+// report bytes.
+func renderFleet(t *testing.T, specText string, workers int) []byte {
+	t.Helper()
+	spec, err := ParseSpec(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.Config()
+	cfg.Workers = workers
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetWorkerParity is the fleet half of the repo's signature
+// invariant: report bytes must not depend on the worker count.
+func TestFleetWorkerParity(t *testing.T) {
+	ref := renderFleet(t, testSpec, 1)
+	for _, workers := range []int{2, 8} {
+		if got := renderFleet(t, testSpec, workers); !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d: report differs from workers=1:\n%s\n-- vs --\n%s", workers, got, ref)
+		}
+	}
+}
+
+// TestFleetRunParity: two same-seed runs are byte-identical; a different
+// seed changes the bytes (the streams are actually seeded).
+func TestFleetRunParity(t *testing.T) {
+	a := renderFleet(t, testSpec, 4)
+	b := renderFleet(t, testSpec, 4)
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed runs differ")
+	}
+	other := renderFleet(t, "n=24,seed=12,horizon=0.02,epoch=1e-3,step=2e-5", 4)
+	if bytes.Equal(a, other) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+// TestFleetMixedPopulation guards the engine against a degenerate default
+// population (everything completing, or nothing): the diversity knobs must
+// keep producing a mix, or the histograms mean nothing.
+func TestFleetMixedPopulation(t *testing.T) {
+	rep, err := Run(Config{Nodes: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 || rep.Completed == 64 {
+		t.Errorf("degenerate completion count %d/64", rep.Completed)
+	}
+	if rep.BrownedOut == 0 {
+		t.Error("no node ever browned out; population too comfortable")
+	}
+	if rep.EnergyHarvested <= 0 || rep.EnergyAux <= 0 {
+		t.Errorf("non-positive energy totals: harvest %g, aux %g", rep.EnergyHarvested, rep.EnergyAux)
+	}
+	var histTotal int
+	for _, c := range rep.Hist.Counts {
+		histTotal += c
+	}
+	if histTotal != rep.Completed {
+		t.Errorf("histogram holds %d completions, report says %d", histTotal, rep.Completed)
+	}
+	if rep.Completed+rep.Unfinished != 64 {
+		t.Errorf("completed %d + unfinished %d != 64", rep.Completed, rep.Unfinished)
+	}
+}
+
+// TestFleetTraceDeterminism checks the fleet.* trace stream: valid events,
+// the expected kinds, and byte-level independence from the worker count.
+func TestFleetTraceDeterminism(t *testing.T) {
+	record := func(workers int) []trace.Event {
+		spec, err := ParseSpec(testSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := spec.Config()
+		cfg.Workers = workers
+		rec := trace.NewRecorder()
+		cfg.Tracer = rec
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events()
+	}
+	ref := record(1)
+	if err := trace.ValidateAll(ref); err != nil {
+		t.Fatal(err)
+	}
+	kinds := trace.Kinds(ref)
+	if want := []string{"fleet.epoch", "fleet.run"}; !reflect.DeepEqual(kinds, want) {
+		t.Errorf("trace kinds = %v, want %v", kinds, want)
+	}
+	if got := record(8); !reflect.DeepEqual(got, ref) {
+		t.Error("trace events differ between workers=1 and workers=8")
+	}
+}
+
+// TestGoldenFleetReport pins a small-N fleet report byte-for-byte.
+// Regenerate with: go test ./internal/fleet/ -run Golden -update
+func TestGoldenFleetReport(t *testing.T) {
+	got := renderFleet(t, "n=16,seed=5,horizon=0.02,epoch=2e-3,step=2e-5", 2)
+	path := filepath.Join("testdata", "golden_fleet.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fleet report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestParseSpec covers the accepted forms and the rejects.
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("")
+	if err != nil || spec.N != DefaultNodes {
+		t.Errorf("empty spec: %+v, %v", spec, err)
+	}
+	spec, err = ParseSpec("1000")
+	if err != nil || spec.N != 1000 {
+		t.Errorf("bare int: %+v, %v", spec, err)
+	}
+	spec, err = ParseSpec(" n=50, seed=9 ,horizon=0.5")
+	if err != nil || spec.N != 50 || spec.Seed != 9 || spec.Horizon != 0.5 || spec.Epoch != DefaultEpoch {
+		t.Errorf("keyed spec: %+v, %v", spec, err)
+	}
+	// Round trip: String -> ParseSpec is the identity.
+	back, err := ParseSpec(spec.String())
+	if err != nil || back != spec {
+		t.Errorf("round trip: %+v != %+v (%v)", back, spec, err)
+	}
+	for _, bad := range []string{"n=0", "n=-3", "bogus=1", "n", "horizon=0", "n=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/pv"
+	"repro/internal/reg"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/weather"
+)
+
+// Per-node population parameters. Each node draws its trims uniformly from
+// these ranges, so a fleet spans starved-through-comfortable energy
+// budgets and the aggregate histograms have real spread.
+const (
+	nodeCapacitance = 100e-6 // storage capacitance (F), the repo default
+	nodeCapMax      = 2.0    // capacitor voltage rail (V)
+	nodeV0Lo        = 0.9    // initial node voltage range (V)
+	nodeV0Hi        = 1.7
+	nodeCyclesLo    = 2.0e6 // job budget range (cycles): frames of recognition
+	nodeCyclesHi    = 8.0e6
+	nodeAuxLo       = 0.1e-3 // always-on peripheral draw range (W)
+	nodeAuxHi       = 0.5e-3
+	nodeSiteLo      = 0.12 // site light scale range (shading/orientation)
+	nodeSiteHi      = 1.0
+	nodeSprint      = 0.20 // the paper's 20% sprint factor
+	deadlineFrac    = 0.8  // job deadline as a fraction of the horizon
+)
+
+// node is one fleet member: a resumable circuit simulation plus the
+// identity needed for ordered aggregation.
+type node struct {
+	id   int
+	sim  *circuit.Simulator
+	ctrl *sched.DeadlineController
+	job  float64 // cycle budget, for reporting
+}
+
+// nodeStream is the fault.StreamSeed stream label for node id. Zero-padding
+// keeps labels unique and human-greppable in traces; the width caps the
+// fleet at 10M nodes before labels collide, far beyond the engine's reach.
+func nodeStream(id int) string { return fmt.Sprintf("node/%07d", id) }
+
+// buildNode constructs node id of the fleet. All randomness is drawn from
+// sources seeded via fault.StreamSeed(seed, "node/<id>", domain) — one
+// domain per concern — so every node's environment and trims are
+// independent of every other node's and of the build order.
+func buildNode(cfg Config, id int) (*node, error) {
+	// Weather: the node's private sky. Dwell times and the OU relaxation
+	// scale with the horizon so short fleet runs still see cloud bursts.
+	gen := weather.NewSeededGenerator(
+		fault.StreamSeed(cfg.Seed, nodeStream(id), "weather"),
+		weather.WithDwellTimes(cfg.Horizon/6, cfg.Horizon/10),
+		weather.WithRelaxationTime(cfg.Horizon/25),
+	)
+	sky, err := gen.Trace(cfg.Horizon, cfg.Horizon/256, nil)
+	if err != nil {
+		return nil, fmt.Errorf("node %d weather: %w", id, err)
+	}
+
+	// Trims: initial charge, job size, peripheral draw and site exposure.
+	trim := rand.New(rand.NewSource(fault.StreamSeed(cfg.Seed, nodeStream(id), "trim")))
+	v0 := nodeV0Lo + (nodeV0Hi-nodeV0Lo)*trim.Float64()
+	cycles := nodeCyclesLo + (nodeCyclesHi-nodeCyclesLo)*trim.Float64()
+	aux := nodeAuxLo + (nodeAuxHi-nodeAuxLo)*trim.Float64()
+
+	// Site exposure: a fixed per-node light scale modelling shading and
+	// panel orientation, the per-node harvest diversity population studies
+	// care about. Scaling the trace keeps Trace.At's interpolation.
+	site := nodeSiteLo + (nodeSiteHi-nodeSiteLo)*trim.Float64()
+	for i := range sky.Samples {
+		sky.Samples[i] *= site
+	}
+
+	storage, err := cap.New(nodeCapacitance, v0, nodeCapMax)
+	if err != nil {
+		return nil, fmt.Errorf("node %d storage: %w", id, err)
+	}
+	ctrl := &sched.DeadlineController{
+		Cycles:      cycles,
+		Deadline:    deadlineFrac * cfg.Horizon,
+		Sprint:      nodeSprint,
+		AllowBypass: true,
+	}
+	sim, err := circuit.New(circuit.Config{
+		Cell:       pv.NewCell(),
+		Proc:       cpu.NewProcessor(),
+		Reg:        reg.NewSC(),
+		Cap:        storage,
+		Irradiance: sky.At,
+		Controller: ctrl,
+		AuxLoad:    func(float64) float64 { return aux },
+		Step:       cfg.Step,
+		MaxTime:    cfg.Horizon,
+		JobCycles:  cycles,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node %d circuit: %w", id, err)
+	}
+	return &node{id: id, sim: sim, ctrl: ctrl, job: cycles}, nil
+}
+
+// buildNodes constructs the whole fleet on the worker pool. Construction
+// is deterministic per node (each writes only its own index), so parallel
+// builds yield the same fleet as serial ones.
+func buildNodes(cfg Config) ([]*node, error) {
+	nodes := make([]*node, cfg.Nodes)
+	errs := make([]error, cfg.Nodes)
+	runner.ForEach(cfg.Nodes, cfg.Workers, func(i int) {
+		nodes[i], errs[i] = buildNode(cfg, i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}

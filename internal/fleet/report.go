@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+)
+
+// Snapshot is the fleet's state at one epoch barrier: the series of these
+// is the population analog of a single node's waveform trace.
+type Snapshot struct {
+	Time       float64 `json:"t_s"`         // epoch end (s)
+	Active     int     `json:"active"`      // nodes still running
+	Completed  int     `json:"completed"`   // jobs finished so far
+	BrownedOut int     `json:"browned_out"` // nodes that have halted at least once
+	Harvested  float64 `json:"harvest_j"`   // fleet energy harvested so far (J)
+	Aux        float64 `json:"aux_j"`       // fleet auxiliary energy so far (J)
+	MeanVcap   float64 `json:"mean_vcap_v"` // mean storage-node voltage (V)
+}
+
+// Histogram is a fixed-bin completion-time histogram over [0, horizon].
+type Histogram struct {
+	Edges  []float64 `json:"edges_s"` // len(Counts)+1 bin edges (s)
+	Counts []int     `json:"counts"`
+}
+
+// histogramBins is the fixed completion-time resolution. Ten bins over the
+// horizon is coarse enough to stay readable in a text report and fine
+// enough to separate on-time, late and sprint-rescued populations.
+const histogramBins = 10
+
+// newHistogram builds an empty histogram spanning [0, horizon].
+func newHistogram(horizon float64) Histogram {
+	edges := make([]float64, histogramBins+1)
+	for i := range edges {
+		edges[i] = horizon * float64(i) / histogramBins
+	}
+	return Histogram{Edges: edges, Counts: make([]int, histogramBins)}
+}
+
+// add records one completion time, clamping into the outermost bins.
+func (h Histogram) add(t float64) {
+	span := h.Edges[len(h.Edges)-1]
+	i := int(t / span * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Report summarises a fleet run. Every field is a deterministic function
+// of the Spec; wall-clock quantities (nodes/sec) deliberately live outside
+// it, in the CLI's timing footer and the benchmarks.
+type Report struct {
+	Spec            Spec       `json:"spec"`
+	Completed       int        `json:"completed"`
+	Unfinished      int        `json:"unfinished"`
+	BrownedOut      int        `json:"browned_out"`
+	EnergyHarvested float64    `json:"energy_harvested_j"`
+	EnergyDelivered float64    `json:"energy_delivered_j"`
+	EnergyAux       float64    `json:"energy_aux_j"`
+	MeanFinalVcap   float64    `json:"mean_final_vcap_v"`
+	Hist            Histogram  `json:"completion_hist"`
+	Snapshots       []Snapshot `json:"snapshots"`
+}
+
+// Report renders the human-readable fleet report. The bytes are part of
+// the determinism contract: the CLI output, the golden snapshot and the
+// parity tests all compare them verbatim.
+func (r *Report) Report(w io.Writer) error {
+	n := r.Spec.N
+	pct := func(k int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return 100 * float64(k) / float64(n)
+	}
+	fmt.Fprintf(w, "== FLEET: %d battery-less nodes on a shared clock ==\n", n)
+	fmt.Fprintf(w, "  spec: %s\n", r.Spec)
+	fmt.Fprintf(w, "  completed %d/%d (%.1f%%), browned out %d (%.1f%%)\n",
+		r.Completed, n, pct(r.Completed), r.BrownedOut, pct(r.BrownedOut))
+	fmt.Fprintf(w, "  energy: harvested %.3f mJ, delivered %.3f mJ, aux %.3f mJ\n",
+		r.EnergyHarvested*1e3, r.EnergyDelivered*1e3, r.EnergyAux*1e3)
+	fmt.Fprintf(w, "  mean final vcap %.3f V\n", r.MeanFinalVcap)
+	fmt.Fprintln(w, "  completion times:")
+	for i, c := range r.Hist.Counts {
+		fmt.Fprintf(w, "    [%7.4f, %7.4f) s %5d  %s\n",
+			r.Hist.Edges[i], r.Hist.Edges[i+1], c, bar(c, n))
+	}
+	fmt.Fprintf(w, "    unfinished        %5d  %s\n", r.Unfinished, bar(r.Unfinished, n))
+	fmt.Fprintln(w, "  epochs (t, active, done, browned, harvest mJ, mean vcap):")
+	for _, s := range r.Snapshots {
+		fmt.Fprintf(w, "    %7.4f  %5d %5d %5d  %8.3f  %.3f\n",
+			s.Time, s.Active, s.Completed, s.BrownedOut, s.Harvested*1e3, s.MeanVcap)
+	}
+	return nil
+}
+
+// bar renders a proportional ASCII bar (40 columns at 100%).
+func bar(count, total int) string {
+	if total <= 0 || count <= 0 {
+		return ""
+	}
+	width := count * 40 / total
+	if width == 0 {
+		width = 1
+	}
+	b := make([]byte, width)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/trace"
+)
+
+// schedule advances the fleet to the horizon in shared-clock epochs.
+//
+// The loop alternates two strictly separated regimes:
+//
+//   - inside an epoch, the active nodes advance concurrently on the worker
+//     pool (runner.ForEach); each worker touches only its own node, so the
+//     schedule cannot leak into the physics;
+//   - at the epoch barrier, the scheduler goroutine alone reads every
+//     node's Progress in node-ID order, accumulating aggregates and
+//     emitting fleet.* trace events.
+//
+// Floating-point accumulation order is therefore fixed by node ID, never
+// by worker interleaving — the mechanism behind byte-identical reports
+// across -j. Finished nodes are dropped from the active set, so an epoch
+// costs only its still-running population.
+func schedule(cfg Config, nodes []*node) (*Report, error) {
+	rep := &Report{Spec: cfg.Spec(), Hist: newHistogram(cfg.Horizon)}
+
+	if trace.On(cfg.Tracer) {
+		trace.Begin(cfg.Tracer, "fleet.run", 0, "fleet", trace.Args{
+			"n": cfg.Nodes, "seed": cfg.Seed, "horizon_s": cfg.Horizon, "epoch_s": cfg.Epoch,
+		})
+	}
+
+	active := make([]*node, len(nodes))
+	copy(active, nodes)
+	stepErrs := make([]error, len(nodes))
+	for epoch := 1; len(active) > 0; epoch++ {
+		tEdge := float64(epoch) * cfg.Epoch
+		if tEdge > cfg.Horizon {
+			tEdge = cfg.Horizon
+		}
+		batch := active
+		runner.ForEach(len(batch), cfg.Workers, func(i int) {
+			_, stepErrs[i] = batch[i].sim.StepTo(tEdge)
+		})
+		for i := range batch {
+			if stepErrs[i] != nil {
+				return nil, fmt.Errorf("fleet: node %d: %w", batch[i].id, stepErrs[i])
+			}
+		}
+
+		// Epoch barrier: aggregate over ALL nodes in ID order.
+		snap := Snapshot{Time: tEdge}
+		for _, nd := range nodes {
+			p := nd.sim.Progress()
+			snap.Harvested += p.EnergyHarvested
+			snap.Aux += p.EnergyAux
+			snap.MeanVcap += p.CapVoltage
+			if p.Completed {
+				snap.Completed++
+			}
+			if p.BrownedOut {
+				snap.BrownedOut++
+			}
+			if !p.Done {
+				snap.Active++
+			}
+		}
+		snap.MeanVcap /= float64(len(nodes))
+		rep.Snapshots = append(rep.Snapshots, snap)
+
+		if trace.On(cfg.Tracer) {
+			trace.Counter(cfg.Tracer, "fleet.epoch", tEdge, "fleet", trace.Args{
+				"active": snap.Active, "completed": snap.Completed,
+				"browned_out": snap.BrownedOut, "harvest_j": snap.Harvested,
+			})
+		}
+
+		// Retire finished nodes, preserving ID order among survivors.
+		live := active[:0]
+		for _, nd := range active {
+			if !nd.sim.Done() {
+				live = append(live, nd)
+			}
+		}
+		active = live
+	}
+
+	// Final reduction, again in node-ID order.
+	for _, nd := range nodes {
+		out := nd.sim.Outcome()
+		rep.EnergyHarvested += out.EnergyHarvested
+		rep.EnergyDelivered += out.EnergyDelivered
+		rep.EnergyAux += out.EnergyAux
+		rep.MeanFinalVcap += out.FinalCapVoltage
+		if out.Completed {
+			rep.Completed++
+			rep.Hist.add(out.CompletionTime)
+		}
+		if out.BrownedOut {
+			rep.BrownedOut++
+		}
+	}
+	rep.MeanFinalVcap /= float64(len(nodes))
+	rep.Unfinished = len(nodes) - rep.Completed
+
+	if trace.On(cfg.Tracer) {
+		trace.End(cfg.Tracer, "fleet.run", cfg.Horizon, "fleet", trace.Args{
+			"completed": rep.Completed, "browned_out": rep.BrownedOut,
+			"harvest_j": rep.EnergyHarvested,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec is the canonical, fully-resolved description of a fleet run — the
+// pure-function input of the determinism contract. Its String form doubles
+// as the CLI argument (`hemsim -fleet n=1000,seed=7`), the hemserved URL
+// path element, and the render-cache key.
+type Spec struct {
+	N       int     `json:"n"`
+	Seed    int64   `json:"seed"`
+	Horizon float64 `json:"horizon_s"`
+	Epoch   float64 `json:"epoch_s"`
+	Step    float64 `json:"step_s"`
+}
+
+// String renders the spec in canonical key order. Parsing the result
+// yields the identical spec, so canonical strings are stable cache keys.
+func (s Spec) String() string {
+	return fmt.Sprintf("n=%d,seed=%d,horizon=%g,epoch=%g,step=%g",
+		s.N, s.Seed, s.Horizon, s.Epoch, s.Step)
+}
+
+// Config converts the spec back into a runnable configuration. Workers and
+// Tracer are execution details, not part of the spec, and are left unset.
+func (s Spec) Config() Config {
+	return Config{Nodes: s.N, Seed: s.Seed, Horizon: s.Horizon, Epoch: s.Epoch, Step: s.Step}
+}
+
+// ParseSpec parses a comma-separated key=value spec, e.g.
+// "n=1000,seed=7" or "n=50,horizon=0.05,epoch=2e-3,step=5e-6".
+// Omitted keys take the package defaults; unknown keys are an error.
+// A bare integer is shorthand for "n=<value>".
+func ParseSpec(text string) (Spec, error) {
+	spec := Spec{N: DefaultNodes, Horizon: DefaultHorizon, Epoch: DefaultEpoch, Step: DefaultStep}
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return spec, nil
+	}
+	if n, err := strconv.Atoi(text); err == nil {
+		spec.N = n
+		return spec, spec.validate()
+	}
+	for _, field := range strings.Split(text, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fleet: spec field %q is not key=value", field)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		var err error
+		switch key {
+		case "n":
+			spec.N, err = strconv.Atoi(value)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(value, 10, 64)
+		case "horizon":
+			spec.Horizon, err = strconv.ParseFloat(value, 64)
+		case "epoch":
+			spec.Epoch, err = strconv.ParseFloat(value, 64)
+		case "step":
+			spec.Step, err = strconv.ParseFloat(value, 64)
+		default:
+			return Spec{}, fmt.Errorf("fleet: unknown spec key %q (want n, seed, horizon, epoch, step)", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("fleet: spec key %s: %w", key, err)
+		}
+	}
+	return spec, spec.validate()
+}
+
+// validate rejects specs that cannot run.
+func (s Spec) validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("fleet: n must be positive, got %d", s.N)
+	}
+	if s.Horizon <= 0 || s.Epoch <= 0 || s.Step <= 0 {
+		return fmt.Errorf("fleet: horizon, epoch and step must be positive (horizon=%g epoch=%g step=%g)",
+			s.Horizon, s.Epoch, s.Step)
+	}
+	return nil
+}

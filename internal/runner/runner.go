@@ -79,6 +79,48 @@ func Stream(jobs []Job, workers int, flush func(Result) error) error {
 	return flushErr
 }
 
+// ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
+// and returns when all calls have finished. It is the data-parallel
+// counterpart of Run for callers that own their output ordering: fn writes
+// only to its own index's state, and the caller reduces in index order
+// after the barrier, which keeps the result independent of the worker
+// count. Indices are claimed from an atomic counter, so the set of indices
+// a given goroutine executes is scheduling-dependent — fn must not let
+// that leak into deterministic output. workers < 1 is treated as 1.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // pool fans the jobs out over the workers, filling results[i] and closing
 // done[i] as each job completes. When results should be consumed as they
 // arrive (Stream), the returned channels signal per-job completion; Run

@@ -159,3 +159,19 @@ func TestStreamEmptyJobList(t *testing.T) {
 		t.Fatalf("empty job list: %v", err)
 	}
 }
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 200
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+	// n <= 0 must be a no-op, not a panic.
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	ForEach(-1, 4, func(int) { t.Fatal("fn called for n=-1") })
+}

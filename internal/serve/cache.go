@@ -107,13 +107,20 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) (val []byte, sha
 	return f.val, false, f.err
 }
 
+// staleFactor sizes the last-known-good store relative to the LRU: it
+// must outlive LRU eviction (or the degraded path would never have a copy
+// the fresh cache lacks) but, with parameterised endpoints like
+// /api/v1/fleet/{spec}, the key space is unbounded, so "eviction never
+// touches it" is not an option either. Both stores hang off the same
+// ReportCacheSize knob; the stale one just gets 8x the headroom, evicting
+// least-recently-used entries deterministically like the front cache.
+const staleFactor = 8
+
 // renderCache is the serving stack's response cache: LRU in front,
 // singleflight behind, instrumented for /metrics. Beside the LRU it keeps
-// a last-known-good store that eviction never touches: when the gate is
-// too saturated to re-render an evicted entry, the degraded-mode path
-// serves the stale copy (with a Warning header) instead of a 503. The
-// store is bounded in practice by the key space — one entry per
-// (experiment, format), never per request.
+// a last-known-good store that outlives front-cache eviction: when the
+// gate is too saturated to re-render an evicted entry, the degraded-mode
+// path serves the stale copy (with a Warning header) instead of a 503.
 type renderCache struct {
 	lru    *lru
 	group  flightGroup
@@ -121,12 +128,11 @@ type renderCache struct {
 	misses atomic.Uint64
 	shared atomic.Uint64 // requests absorbed by an in-flight render
 
-	staleMu sync.Mutex
-	stale   map[string][]byte // last successful render per key
+	stale *lru // bounded last-known-good store for the degraded path
 }
 
 func newRenderCache(size int) *renderCache {
-	return &renderCache{lru: newLRU(size)}
+	return &renderCache{lru: newLRU(size), stale: newLRU(staleFactor * size)}
 }
 
 // get returns the cached response for key, rendering (at most once per
@@ -155,26 +161,16 @@ func (c *renderCache) get(key string, render func() ([]byte, error)) ([]byte, er
 
 // putStale records the last successful render for the degraded path.
 func (c *renderCache) putStale(key string, b []byte) {
-	c.staleMu.Lock()
-	defer c.staleMu.Unlock()
-	if c.stale == nil {
-		c.stale = make(map[string][]byte)
-	}
-	c.stale[key] = b
+	c.stale.put(key, b)
 }
 
-// getStale returns the last-known-good render for key, if any ever
-// succeeded in this process.
+// getStale returns the last-known-good render for key, if one succeeded
+// recently enough to survive the stale store's own (8x larger) LRU bound.
 func (c *renderCache) getStale(key string) ([]byte, bool) {
-	c.staleMu.Lock()
-	defer c.staleMu.Unlock()
-	b, ok := c.stale[key]
-	return b, ok
+	return c.stale.get(key)
 }
 
 // staleLen reports the last-known-good store size for /metrics.
 func (c *renderCache) staleLen() int {
-	c.staleMu.Lock()
-	defer c.staleMu.Unlock()
-	return len(c.stale)
+	return c.stale.len()
 }

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyFleetSpec returns a spec that renders in a few milliseconds: 2 nodes
+// over 100 steps each, seeded so each spec is a distinct cache key.
+func tinyFleetSpec(seed int) string {
+	return fmt.Sprintf("n=2,seed=%d,horizon=0.002,epoch=1e-3,step=2e-5", seed)
+}
+
+// TestFleetEndpoint covers the happy path and the response contract: JSON
+// body with the canonical spec echoed back, byte-identical on a cache hit.
+func TestFleetEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	url := ts.URL + "/api/v1/fleet/" + tinyFleetSpec(1)
+	code, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("fleet get: status %d, body %s", code, body)
+	}
+	var rep struct {
+		Spec struct {
+			N    int   `json:"n"`
+			Seed int64 `json:"seed"`
+		} `json:"spec"`
+		Snapshots []json.RawMessage `json:"snapshots"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, body)
+	}
+	if rep.Spec.N != 2 || rep.Spec.Seed != 1 {
+		t.Errorf("spec echoed as n=%d seed=%d", rep.Spec.N, rep.Spec.Seed)
+	}
+	if len(rep.Snapshots) == 0 {
+		t.Error("no snapshots in fleet response")
+	}
+	if _, again := get(t, url); string(again) != string(body) {
+		t.Error("cache hit returned different bytes")
+	}
+}
+
+// TestFleetEndpointRejects covers the request bounds.
+func TestFleetEndpointRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, bad := range []string{
+		"n=9999999",             // population cap
+		"n=0",                   // invalid spec
+		"bogus=1",               // unknown key
+		"n=5000,horizon=100000", // step-budget cap
+	} {
+		if code, _ := get(t, ts.URL+"/api/v1/fleet/"+bad); code != http.StatusBadRequest {
+			t.Errorf("spec %q: status %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestStaleStoreBoundedUnderKeyPressure is the regression test for the
+// unbounded last-known-good store: parameterised fleet specs give an
+// unbounded key space, so the store must evict — deterministically, on
+// the same capacity knob as the LRU — while the degraded path keeps
+// serving Warning 110 for keys recent enough to survive.
+func TestStaleStoreBoundedUnderKeyPressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1, ReportCacheSize: 1, RequestTimeout: 500 * time.Millisecond,
+	})
+	// Push far more distinct keys than the stale bound through the cache.
+	const distinct = 3 * staleFactor
+	for seed := 0; seed < distinct; seed++ {
+		if code, body := get(t, ts.URL+"/api/v1/fleet/"+tinyFleetSpec(seed)); code != http.StatusOK {
+			t.Fatalf("seed %d: status %d, body %s", seed, code, body)
+		}
+	}
+	if got, max := s.reports.staleLen(), staleFactor*1; got > max {
+		t.Fatalf("stale store holds %d entries after %d distinct keys, want <= %d", got, distinct, max)
+	}
+	// The earliest keys must have been evicted from the stale store too.
+	if _, ok := s.reports.getStale("fleet:" + tinyFleetSpec(0)); ok {
+		t.Error("oldest stale entry survived eviction pressure")
+	}
+
+	// Degraded path after pressure: evict the newest key from the front
+	// LRU (capacity 1), saturate the gate, and expect the stale copy.
+	last := tinyFleetSpec(distinct - 1)
+	if code, _ := get(t, ts.URL+"/api/v1/experiments/fig2"); code != http.StatusOK {
+		t.Fatal("evicting render failed")
+	}
+	if _, ok := s.reports.lru.get("fleet:" + last); ok {
+		t.Fatal("fleet entry still in front LRU; eviction setup broken")
+	}
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go s.gate.Do(context.Background(), func() error {
+		close(parked)
+		<-release
+		return nil
+	})
+	<-parked
+	defer close(release)
+
+	resp, err := http.Get(ts.URL + "/api/v1/fleet/" + last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("saturated fleet request: status %d, want 200 (stale)", resp.StatusCode)
+	}
+	if w := resp.Header.Get("Warning"); !strings.Contains(w, "110") {
+		t.Errorf("degraded fleet response missing Warning 110: %q", w)
+	}
+	if got := s.metrics.staleServed.Load(); got != 1 {
+		t.Errorf("staleServed = %d, want 1", got)
+	}
+}

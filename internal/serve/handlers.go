@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/mppt"
 	"repro/internal/pv"
 	"repro/internal/runner"
@@ -182,6 +183,67 @@ func (s *Server) handleExperimentTrace(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
+	w.Write(body)
+}
+
+// Fleet request bounds: a spec is attacker-controlled sizing, so both the
+// population and the total integration work it orders are capped.
+const (
+	maxFleetNodes = 5000
+	maxFleetSteps = 2e7 // n * horizon/step, total steps one request may order
+)
+
+// handleFleet runs a shared-clock node fleet (internal/fleet) and serves
+// its report as JSON. Fleet reports are pure functions of the canonical
+// spec, so responses cache under "fleet:<spec>" exactly like experiment
+// renders — including the singleflight, the gate, and the stale degraded
+// path. The engine runs single-worker inside the gate slot: one request,
+// one simulation thread, and byte-identical bodies by construction.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	spec, err := fleet.ParseSpec(r.PathValue("spec"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.N > maxFleetNodes {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet too large: n=%d (max %d)", spec.N, maxFleetNodes))
+		return
+	}
+	if work := float64(spec.N) * (spec.Horizon / spec.Step); work > maxFleetSteps {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet spec orders %.3g integration steps (max %.3g); shrink n or horizon, or coarsen step", work, float64(maxFleetSteps)))
+		return
+	}
+	if err := renderFault(r.Context()); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	key := "fleet:" + spec.String()
+	body, err := s.reports.get(key, func() (body []byte, err error) {
+		gateErr := s.gate.DoHeld(r.Context(), gateHold(r.Context()), func() error {
+			cfg := spec.Config()
+			cfg.Workers = 1
+			rep, runErr := fleet.Run(cfg)
+			if runErr != nil {
+				err = runErr
+				return nil
+			}
+			body, err = json.Marshal(rep)
+			return nil
+		})
+		if gateErr != nil {
+			return nil, gateErr
+		}
+		return body, err
+	})
+	if err != nil {
+		stale, ok := s.serveStale(w, r, key, err)
+		if !ok {
+			writeExperimentError(w, r, err)
+			return
+		}
+		body = stale
+	}
+	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
 }
 

@@ -120,6 +120,7 @@ func (s *Server) routes() {
 	handle("GET /api/v1/experiments/{id}", "experiment_get", s.handleExperimentGet)
 	handle("GET /api/v1/experiments/{id}/trace", "experiment_trace", s.handleExperimentTrace)
 	handle("POST /api/v1/experiments/batch", "experiments_batch", s.handleExperimentsBatch)
+	handle("GET /api/v1/fleet/{spec}", "fleet_get", s.handleFleet)
 	handle("POST /api/v1/pv/solve", "pv_solve", s.handlePVSolve)
 	handle("POST /api/v1/mppt/plan", "mppt_plan", s.handleMPPTPlan)
 	handle("GET /metrics", "metrics", s.handleMetrics)

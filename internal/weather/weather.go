@@ -84,6 +84,16 @@ func NewGenerator(rng *rand.Rand, opts ...Option) *Generator {
 	return g
 }
 
+// NewSeededGenerator returns a generator whose randomness comes from a
+// private rand source seeded with the given value. It exists for callers
+// that own many independent streams (one per fleet node): deriving each
+// seed with fault.StreamSeed and constructing a seeded generator per node
+// keeps every node's weather independent of every other node's and of the
+// worker count.
+func NewSeededGenerator(seed int64, opts ...Option) *Generator {
+	return NewGenerator(rand.New(rand.NewSource(seed)), opts...)
+}
+
 // Trace is a precomputed irradiance time series. The zero value is not
 // useful; build with Generator.Trace.
 type Trace struct {
