@@ -237,8 +237,12 @@ func runFleet(specText string, seed int64, seedSet bool, workers int, traceFile 
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "hemsim: fleet %s: %d nodes in %s (%.0f nodes/s, j=%d)\n",
-		spec, spec.N, elapsed.Round(time.Millisecond), float64(spec.N)/elapsed.Seconds(), workers)
+	rate := "n/a"
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = fmt.Sprintf("%.0f", float64(spec.N)/secs)
+	}
+	fmt.Fprintf(os.Stderr, "hemsim: fleet %s: %d nodes in %s (%s nodes/s, j=%d)\n",
+		spec, spec.N, elapsed.Round(time.Millisecond), rate, workers)
 	return nil
 }
 

@@ -21,6 +21,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/trace"
@@ -60,6 +61,10 @@ type Config struct {
 	// counters) on the sim clock. Events are emitted by the scheduler
 	// goroutine only, between barriers, so traces are deterministic too.
 	Tracer trace.Tracer
+	// Ctx, when non-nil, cancels the run: the scheduler checks it at every
+	// epoch barrier and returns its error instead of simulating on. Like
+	// Workers and Tracer it is an execution detail, not part of the Spec.
+	Ctx context.Context
 }
 
 // withDefaults returns cfg with zero fields resolved.

@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -141,6 +143,19 @@ func TestGoldenFleetReport(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("fleet report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestFleetCancellation: a cancelled context stops the run at an epoch
+// barrier with the context's error instead of simulating to the horizon —
+// the property that lets a server free its gate slot when the client hangs
+// up.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(Config{Nodes: 4, Seed: 1, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
 	}
 }
 

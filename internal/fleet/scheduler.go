@@ -7,6 +7,18 @@ import (
 	"repro/internal/trace"
 )
 
+// retiredAgg carries the frozen contribution of every node that has left
+// the active set. A finished Simulator takes no further steps, so its
+// Progress is immutable; folding it in once at retirement lets the epoch
+// barrier scan only the live population instead of all N nodes.
+type retiredAgg struct {
+	harvested  float64
+	aux        float64
+	vcap       float64
+	completed  int
+	brownedOut int
+}
+
 // schedule advances the fleet to the horizon in shared-clock epochs.
 //
 // The loop alternates two strictly separated regimes:
@@ -14,14 +26,15 @@ import (
 //   - inside an epoch, the active nodes advance concurrently on the worker
 //     pool (runner.ForEach); each worker touches only its own node, so the
 //     schedule cannot leak into the physics;
-//   - at the epoch barrier, the scheduler goroutine alone reads every
-//     node's Progress in node-ID order, accumulating aggregates and
-//     emitting fleet.* trace events.
+//   - at the epoch barrier, the scheduler goroutine alone reads the active
+//     nodes' Progress in node-ID order, accumulating aggregates on top of
+//     the retired nodes' frozen totals and emitting fleet.* trace events.
 //
-// Floating-point accumulation order is therefore fixed by node ID, never
-// by worker interleaving — the mechanism behind byte-identical reports
-// across -j. Finished nodes are dropped from the active set, so an epoch
-// costs only its still-running population.
+// Floating-point accumulation order is therefore fixed — retirement order
+// (itself a deterministic function of the spec) then node-ID order, never
+// worker interleaving — the mechanism behind byte-identical reports across
+// -j. Finished nodes are dropped from the active set and folded into the
+// retired totals, so an epoch costs only its still-running population.
 func schedule(cfg Config, nodes []*node) (*Report, error) {
 	rep := &Report{Spec: cfg.Spec(), Hist: newHistogram(cfg.Horizon)}
 
@@ -34,7 +47,15 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 	active := make([]*node, len(nodes))
 	copy(active, nodes)
 	stepErrs := make([]error, len(nodes))
+	var retired retiredAgg
 	for epoch := 1; len(active) > 0; epoch++ {
+		// A cancelled caller (an abandoned HTTP request, a killed CLI run)
+		// stops at the next barrier instead of simulating to the horizon.
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("fleet: run cancelled: %w", err)
+			}
+		}
 		tEdge := float64(epoch) * cfg.Epoch
 		if tEdge > cfg.Horizon {
 			tEdge = cfg.Horizon
@@ -49,9 +70,19 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 			}
 		}
 
-		// Epoch barrier: aggregate over ALL nodes in ID order.
-		snap := Snapshot{Time: tEdge}
-		for _, nd := range nodes {
+		// Epoch barrier: retired totals first, then the active nodes in ID
+		// order. Nodes that finished this epoch are counted via their (now
+		// frozen) Progress, folded into the retired totals, and dropped.
+		snap := Snapshot{
+			Time:       tEdge,
+			Harvested:  retired.harvested,
+			Aux:        retired.aux,
+			MeanVcap:   retired.vcap,
+			Completed:  retired.completed,
+			BrownedOut: retired.brownedOut,
+		}
+		live := active[:0]
+		for _, nd := range active {
 			p := nd.sim.Progress()
 			snap.Harvested += p.EnergyHarvested
 			snap.Aux += p.EnergyAux
@@ -62,10 +93,22 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 			if p.BrownedOut {
 				snap.BrownedOut++
 			}
-			if !p.Done {
+			if p.Done {
+				retired.harvested += p.EnergyHarvested
+				retired.aux += p.EnergyAux
+				retired.vcap += p.CapVoltage
+				if p.Completed {
+					retired.completed++
+				}
+				if p.BrownedOut {
+					retired.brownedOut++
+				}
+			} else {
 				snap.Active++
+				live = append(live, nd)
 			}
 		}
+		active = live
 		snap.MeanVcap /= float64(len(nodes))
 		rep.Snapshots = append(rep.Snapshots, snap)
 
@@ -75,15 +118,6 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 				"browned_out": snap.BrownedOut, "harvest_j": snap.Harvested,
 			})
 		}
-
-		// Retire finished nodes, preserving ID order among survivors.
-		live := active[:0]
-		for _, nd := range active {
-			if !nd.sim.Done() {
-				live = append(live, nd)
-			}
-		}
-		active = live
 	}
 
 	// Final reduction, again in node-ID order.

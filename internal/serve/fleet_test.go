@@ -54,6 +54,9 @@ func TestFleetEndpointRejects(t *testing.T) {
 		"n=0",                   // invalid spec
 		"bogus=1",               // unknown key
 		"n=5000,horizon=100000", // step-budget cap
+		// Epoch-count cap: almost no integration work (1 step) but ~5e10
+		// scheduler rounds, each appending a snapshot, without the bound.
+		"n=1,horizon=0.05,epoch=1e-12,step=0.05",
 	} {
 		if code, _ := get(t, ts.URL+"/api/v1/fleet/"+bad); code != http.StatusBadRequest {
 			t.Errorf("spec %q: status %d, want 400", bad, code)

@@ -186,11 +186,17 @@ func (s *Server) handleExperimentTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
-// Fleet request bounds: a spec is attacker-controlled sizing, so both the
-// population and the total integration work it orders are capped.
+// Fleet request bounds: a spec is attacker-controlled sizing, so the
+// population, the total integration work and the scheduler's epoch count
+// are all capped. The epoch cap matters independently of the step cap: a
+// tiny epoch with a coarse step (horizon=0.05, epoch=1e-12, step=0.05)
+// orders almost no integration work yet would spin the scheduler through
+// ~5e10 barrier rounds, each appending a snapshot — unbounded CPU and
+// memory from one GET without it.
 const (
-	maxFleetNodes = 5000
-	maxFleetSteps = 2e7 // n * horizon/step, total steps one request may order
+	maxFleetNodes  = 5000
+	maxFleetSteps  = 2e7 // n * horizon/step, total steps one request may order
+	maxFleetEpochs = 1e4 // horizon/epoch, scheduler rounds (and snapshots)
 )
 
 // handleFleet runs a shared-clock node fleet (internal/fleet) and serves
@@ -213,6 +219,10 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet spec orders %.3g integration steps (max %.3g); shrink n or horizon, or coarsen step", work, float64(maxFleetSteps)))
 		return
 	}
+	if epochs := spec.Horizon / spec.Epoch; epochs > maxFleetEpochs {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet spec orders %.3g scheduler epochs (max %.3g); coarsen epoch or shrink horizon", epochs, float64(maxFleetEpochs)))
+		return
+	}
 	if err := renderFault(r.Context()); err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -222,6 +232,10 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		gateErr := s.gate.DoHeld(r.Context(), gateHold(r.Context()), func() error {
 			cfg := spec.Config()
 			cfg.Workers = 1
+			// The request context cancels the run at the next epoch
+			// barrier, so an abandoned request frees its gate slot instead
+			// of simulating to the horizon.
+			cfg.Ctx = r.Context()
 			rep, runErr := fleet.Run(cfg)
 			if runErr != nil {
 				err = runErr
