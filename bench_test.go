@@ -210,6 +210,71 @@ func BenchmarkKernelFullRun(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelBatch measures the batched PV kernel (DESIGN.md Sec. 13):
+// one 10000-point fine I-V sweep (1 µV spacing around the knee, where
+// Newton iterations are most expensive) solved through pv.SolveBatch in
+// chunks of 1, 100 and 10000 points. Chunk width is the whole win: within
+// a chunk the walking solver state carries warm starts, replay
+// trajectories and the anchored exponential from lane to lane, while width
+// 1 degenerates to a cold scalar solve per point. The results are
+// bit-identical at every width (the batch parity suites); only solves/sec
+// moves. A lockstep sub-benchmark times circuit.RunBatch advancing a
+// 16-lane slab, the shape the fleet scheduler runs per epoch.
+func BenchmarkKernelBatch(b *testing.B) {
+	const points = 10000
+	cell := pv.NewCell()
+	vs := make([]float64, points)
+	for i := range vs {
+		vs[i] = 0.995 + 0.01*float64(i)/points
+	}
+	irr := []float64{0.8}
+	out := make([]float64, points)
+	for _, width := range []int{1, 100, 10000} {
+		b.Run(fmt.Sprintf("w=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for lo := 0; lo < points; lo += width {
+					hi := lo + width
+					if hi > points {
+						hi = points
+					}
+					cell.SolveBatch(vs[lo:hi], irr, out[lo:hi], nil)
+				}
+			}
+			b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+		})
+	}
+	b.Run("lockstep-16lane", func(b *testing.B) {
+		const lanes, steps = 16, 500
+		mk := func() []circuit.Config {
+			cfgs := make([]circuit.Config, lanes)
+			for i := range cfgs {
+				storage, err := cap.New(100e-6, 0.8+0.05*float64(i%8), 2.0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfgs[i] = circuit.Config{
+					Cell:       cell,
+					Proc:       cpu.NewProcessor(),
+					Reg:        reg.NewSC(),
+					Cap:        storage,
+					Irradiance: circuit.ConstantIrradiance(0.2 + 0.1*float64(i%5)),
+					Controller: &circuit.FixedPoint{Supply: 0.5},
+					Step:       5e-6,
+					MaxTime:    steps * 5e-6,
+				}
+			}
+			return cfgs
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := circuit.RunBatch(mk()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(lanes*steps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+	})
+}
+
 // --- Ablations (DESIGN.md Sec. 5) ---
 
 // BenchmarkAblationSprintFactor sweeps the sprint factor and reports the

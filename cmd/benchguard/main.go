@@ -4,8 +4,9 @@
 //   - serve (BENCH_serve.json): PV solve cached and uncached, one registry
 //     report render, and the cached experiment HTTP handler.
 //   - sim (BENCH_sim.json): the simulation kernel — the warm-started PV
-//     solve versus the stateless bisection reference, a 2000-step circuit
-//     run, and one full registry experiment end to end.
+//     solve versus the stateless bisection reference, the batched sweep
+//     solver at width 1 and 10k, a 2000-step circuit run, a 16-lane
+//     circuit.RunBatch, and one full registry experiment end to end.
 //
 // It measures each path in-process, writes the measured ns/op to a JSON
 // file, and exits non-zero if any path regressed more than the tolerance
@@ -106,6 +107,51 @@ func simPaths() map[string]hotPath {
 	warmIdx, refIdx := 0, 0
 	rampVoltage := func(i int) float64 { return 0.95 + 1e-6*float64(i%1000) }
 
+	// The batched sweep: the BenchmarkKernelBatch grid (10k points at 1 µV
+	// spacing around the knee) solved through SolveBatch in chunks. Width 1
+	// is a cold scalar solve per point; width 10k chains the walking solver
+	// state across the whole sweep — the batch speedup under guard.
+	const sweepPoints = 10000
+	sweepVs := make([]float64, sweepPoints)
+	for i := range sweepVs {
+		sweepVs[i] = 0.995 + 0.01*float64(i)/sweepPoints
+	}
+	sweepIrr := []float64{0.8}
+	sweepOut := make([]float64, sweepPoints)
+	sweep := func(width int) {
+		for lo := 0; lo < sweepPoints; lo += width {
+			hi := lo + width
+			if hi > sweepPoints {
+				hi = sweepPoints
+			}
+			cell.SolveBatch(sweepVs[lo:hi], sweepIrr, sweepOut[lo:hi], nil)
+		}
+		benchSink = sweepOut[sweepPoints-1]
+	}
+
+	batchRun := func() error {
+		cfgs := make([]circuit.Config, 16)
+		for i := range cfgs {
+			storage, err := cap.New(100e-6, 0.8+0.05*float64(i%8), 2.0)
+			if err != nil {
+				return err
+			}
+			cfgs[i] = circuit.Config{
+				Cell:        cell,
+				Proc:        cpu.NewProcessor(),
+				Reg:         reg.NewSC(),
+				Cap:         storage,
+				Irradiance:  circuit.ConstantIrradiance(0.2 + 0.1*float64(i%5)),
+				Controller:  &circuit.FixedPoint{Supply: 0.5},
+				ClockLevels: []float64{10e6, 20e6, 40e6, 80e6},
+				Step:        5e-6,
+				MaxTime:     500 * 5e-6,
+			}
+		}
+		_, err := circuit.RunBatch(cfgs)
+		return err
+	}
+
 	circuitRun := func() error {
 		storage, err := cap.New(100e-6, 1.0, 2.0)
 		if err != nil {
@@ -155,6 +201,28 @@ func simPaths() map[string]hotPath {
 		"sim_full_run": func(n int) error {
 			for i := 0; i < n; i++ {
 				if _, err := expt.Render("fig11b"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"batch_solve_sweep_w1": func(n int) error {
+			for i := 0; i < n; i++ {
+				sweep(1)
+			}
+			return nil
+		},
+		"batch_solve_sweep_w10k": func(n int) error {
+			for i := 0; i < n; i++ {
+				sweep(sweepPoints)
+			}
+			return nil
+		},
+		// 16 lanes x 500 steps on one contiguous slab, the shape a fleet
+		// worker advances per epoch.
+		"batch_run_16lane": func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := batchRun(); err != nil {
 					return err
 				}
 			}

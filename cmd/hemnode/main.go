@@ -4,14 +4,15 @@
 // sensornode example, for exploring scenarios without editing code.
 //
 // With -campaigns N > 1 it fans N campaigns (seed, seed+1, ...) out over a
-// worker pool (-j) and prints their reports in seed order; the output is
-// deterministic and independent of the worker count.
+// worker pool (-j), grouping -batch consecutive seeds into each worker job,
+// and prints their reports in seed order; the output is deterministic and
+// independent of both the worker count and the batch size.
 //
 // Usage:
 //
 //	hemnode [-duration 6] [-seed 7] [-policy tracked|fixed|mep]
 //	        [-cloudiness 0.4] [-cap 100e-6] [-csv trace.csv]
-//	        [-trace events.jsonl] [-campaigns 1] [-j N]
+//	        [-trace events.jsonl] [-campaigns 1] [-j N] [-batch 1]
 package main
 
 import (
@@ -66,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 		csvPath    = fs.String("csv", "", "write the irradiance trace to this CSV file")
 		tracePath  = fs.String("trace", "", "write simulation events to this file (.json selects Chrome trace format, else JSONL)")
 		campaigns  = fs.Int("campaigns", 1, "number of campaigns to fan out (seeds seed..seed+N-1)")
+		batch      = fs.Int("batch", 1, "consecutive campaigns one worker job runs back to back; output bytes are identical at every batch size")
 		jobs       = fs.Int("j", runtime.NumCPU(), "campaigns to run in parallel")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +81,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *campaigns < 1 {
 		return fmt.Errorf("campaigns must be >= 1")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("batch must be >= 1")
 	}
 	if *campaigns > 1 && *csvPath != "" {
 		return fmt.Errorf("-csv supports a single campaign (run fan-outs without it)")
@@ -100,15 +105,36 @@ func run(args []string, stdout io.Writer) error {
 		return campaign(cfg, stdout)
 	}
 
+	// Fan out in batches: each job runs a window of consecutive seeds back
+	// to back, separating campaigns inside the window exactly as the flusher
+	// separates jobs, so the stdout bytes are independent of -batch (and of
+	// -j, as ever).
 	var work []runner.Job
-	for i := 0; i < *campaigns; i++ {
-		c := cfg
-		c.seed = cfg.seed + int64(i)
+	for lo := 0; lo < *campaigns; lo += *batch {
+		hi := lo + *batch
+		if hi > *campaigns {
+			hi = *campaigns
+		}
+		lo := lo
+		id := fmt.Sprintf("seed=%d", cfg.seed+int64(lo))
+		if hi-lo > 1 {
+			id = fmt.Sprintf("seed=%d..%d", cfg.seed+int64(lo), cfg.seed+int64(hi-1))
+		}
 		work = append(work, runner.Job{
-			ID: fmt.Sprintf("seed=%d", c.seed),
+			ID: id,
 			Run: func(w io.Writer) error {
-				fmt.Fprintf(w, "== campaign seed=%d ==\n", c.seed)
-				return campaign(c, w)
+				for i := lo; i < hi; i++ {
+					if i > lo {
+						fmt.Fprintln(w)
+					}
+					c := cfg
+					c.seed = cfg.seed + int64(i)
+					fmt.Fprintf(w, "== campaign seed=%d ==\n", c.seed)
+					if err := campaign(c, w); err != nil {
+						return err
+					}
+				}
+				return nil
 			},
 		})
 	}

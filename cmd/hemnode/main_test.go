@@ -80,6 +80,29 @@ func TestCampaignFanOut(t *testing.T) {
 	}
 }
 
+// TestCampaignFanOutBatchParity: grouping consecutive seeds into worker
+// jobs with -batch must not change a byte of the fan-out output.
+func TestCampaignFanOutBatchParity(t *testing.T) {
+	outFor := func(batch, jobs string) string {
+		var b strings.Builder
+		args := []string{"-duration", "0.2", "-seed", "3", "-campaigns", "5", "-j", jobs, "-batch", batch}
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	ref := outFor("1", "1")
+	for _, tc := range [][2]string{{"2", "1"}, {"2", "4"}, {"5", "4"}, {"7", "2"}} {
+		if got := outFor(tc[0], tc[1]); got != ref {
+			t.Errorf("-batch %s -j %s: output differs from -batch 1 -j 1", tc[0], tc[1])
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"-batch", "0"}, &b); err == nil {
+		t.Error("batch=0 accepted")
+	}
+}
+
 func TestCampaignFanOutValidation(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-campaigns", "0"}, &b); err == nil {

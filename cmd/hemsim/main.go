@@ -14,15 +14,17 @@
 // With -fleet the command runs the shared-clock multi-node engine
 // (internal/fleet) instead of the figure experiments: N battery-less
 // nodes, each with a domain-separated weather stream derived from -seed,
-// advanced in epochs on the worker pool. The report on stdout is
-// byte-identical for every -j and every repetition of the same spec; the
-// nodes/sec line goes to stderr so piping stdout stays deterministic.
+// advanced in epochs on the worker pool as contiguous lane groups of at
+// most -batch nodes (internal/circuit's batched stepper). The report on
+// stdout is byte-identical for every -j, every -batch and every repetition
+// of the same spec; the nodes/sec line goes to stderr so piping stdout
+// stays deterministic.
 //
 // Usage:
 //
 //	hemsim [-list] [-csv dir] [-trace file] [-faults plan.json] [-j N]
 //	       [-timing] [experiment...]
-//	hemsim -fleet n=1000[,horizon=0.05,...] [-seed S] [-trace file] [-j N]
+//	hemsim -fleet n=1000[,horizon=0.05,...] [-seed S] [-trace file] [-j N] [-batch B]
 package main
 
 import (
@@ -61,6 +63,7 @@ func run(args []string, stdout io.Writer) error {
 	faultsFile := fs.String("faults", "", "run chaos-capable experiments under the fault plan in <file> (JSON; requires -trace)")
 	fleetSpec := fs.String("fleet", "", "run a shared-clock node fleet with the given spec (e.g. n=1000 or n=500,horizon=0.1) instead of experiments")
 	seed := fs.Int64("seed", 0, "master seed for -fleet (overrides a seed= key in the spec)")
+	batch := fs.Int("batch", 0, "nodes one -fleet worker advances as a contiguous lane group per epoch; 0 splits the fleet evenly across workers")
 	// Accept flags before and after the experiment IDs (`hemsim all -j 4`):
 	// the stdlib parser stops at the first positional, so re-enter it after
 	// consuming each one.
@@ -83,7 +86,7 @@ func run(args []string, stdout io.Writer) error {
 				seedSet = true
 			}
 		})
-		return runFleet(*fleetSpec, *seed, seedSet, *jobs, *traceFile, stdout)
+		return runFleet(*fleetSpec, *seed, seedSet, *jobs, *batch, *traceFile, stdout)
 	}
 	var plan *fault.Plan
 	if *faultsFile != "" {
@@ -208,7 +211,7 @@ func run(args []string, stdout io.Writer) error {
 // runFleet executes one fleet run. The report bytes on stdout depend only
 // on the resolved spec — the determinism contract extends the experiments'
 // -j parity to fleets — so the wall-clock rate is printed to stderr.
-func runFleet(specText string, seed int64, seedSet bool, workers int, traceFile string, stdout io.Writer) error {
+func runFleet(specText string, seed int64, seedSet bool, workers, batch int, traceFile string, stdout io.Writer) error {
 	spec, err := fleet.ParseSpec(specText)
 	if err != nil {
 		return err
@@ -218,6 +221,7 @@ func runFleet(specText string, seed int64, seedSet bool, workers int, traceFile 
 	}
 	cfg := spec.Config()
 	cfg.Workers = workers
+	cfg.Batch = batch
 	var rec *trace.Recorder
 	if traceFile != "" {
 		rec = trace.NewRecorder()

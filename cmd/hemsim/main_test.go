@@ -73,6 +73,28 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFleetBatchParity: the -fleet report bytes are independent of both
+// the worker count and the lane-group size.
+func TestFleetBatchParity(t *testing.T) {
+	const spec = "n=12,seed=4,horizon=0.004,epoch=1e-3,step=2e-5"
+	outFor := func(jobs, batch string) string {
+		var b strings.Builder
+		if err := run([]string{"-fleet", spec, "-j", jobs, "-batch", batch}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	ref := outFor("1", "1")
+	if ref == "" {
+		t.Fatal("empty fleet report")
+	}
+	for _, tc := range [][2]string{{"4", "1"}, {"1", "5"}, {"4", "5"}, {"2", "100"}} {
+		if got := outFor(tc[0], tc[1]); got != ref {
+			t.Errorf("-j %s -batch %s: fleet report differs from -j 1 -batch 1", tc[0], tc[1])
+		}
+	}
+}
+
 func TestTimingFooter(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-j", "2", "fig3,fig4"}, &b); err != nil {

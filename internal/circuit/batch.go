@@ -1,0 +1,142 @@
+package circuit
+
+// Batched execution: N resumable simulations advanced as the lanes of one
+// stepper. NewBatch lays the lanes out in a single contiguous slab of
+// Simulator values — struct-of-simulators rather than N separately
+// allocated pointer targets — so a sweep over thousands of configurations
+// streams through the cache in lane order instead of chasing per-node
+// pointers. Group wraps already-built simulators (for example a window of
+// a slab's lanes) so a scheduler can hand each worker a contiguous span of
+// nodes per epoch (internal/fleet).
+//
+// Determinism: a BatchStepper adds no physics of its own. Each lane is a
+// full Simulator advanced by exactly the scalar stepper's code, one lane
+// at a time, and every lane carries its own pv.SolverState, so outcomes,
+// events and traces are bit-identical to running the same configs through
+// New + Run one by one — at every batch size. The parity suite in
+// batch_test.go and the fleet golden/j-parity tests enforce this.
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// LaneError reports which lane of a batched operation failed, so callers
+// that map lanes to domain identities (fleet node IDs, sweep indices) can
+// attribute the failure. It wraps the lane's underlying error.
+type LaneError struct {
+	Lane int   // index into the stepper's lanes
+	Err  error // the lane's error
+}
+
+// Error implements error.
+func (e *LaneError) Error() string { return fmt.Sprintf("circuit: lane %d: %v", e.Lane, e.Err) }
+
+// Unwrap exposes the lane's underlying error to errors.Is/As.
+func (e *LaneError) Unwrap() error { return e.Err }
+
+// BatchStepper advances a set of simulation lanes together. Build one with
+// NewBatch (owns a contiguous slab) or Group (wraps existing simulators).
+// The zero value is an empty, finished batch.
+type BatchStepper struct {
+	lanes []*Simulator
+	slab  []Simulator // non-nil when NewBatch allocated the lanes
+}
+
+// NewBatch validates every config and returns a stepper whose lanes live
+// in one contiguous allocation, in config order. A config error is
+// reported as a *LaneError identifying the offending lane.
+func NewBatch(cfgs []Config) (*BatchStepper, error) {
+	slab := make([]Simulator, len(cfgs))
+	lanes := make([]*Simulator, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := initSimulator(&slab[i], cfg); err != nil {
+			return nil, &LaneError{Lane: i, Err: err}
+		}
+		lanes[i] = &slab[i]
+	}
+	return &BatchStepper{lanes: lanes, slab: slab}, nil
+}
+
+// Group wraps existing simulators as the lanes of a stepper without
+// copying or re-validating them. It returns a value (not a pointer) so
+// per-epoch grouping in a scheduler's hot loop allocates nothing.
+func Group(sims []*Simulator) BatchStepper {
+	return BatchStepper{lanes: sims}
+}
+
+// Len returns the number of lanes.
+func (b *BatchStepper) Len() int { return len(b.lanes) }
+
+// Lane returns lane i's simulator, e.g. to read Progress or Outcome.
+func (b *BatchStepper) Lane(i int) *Simulator { return b.lanes[i] }
+
+// Done reports whether every lane has finished.
+func (b *BatchStepper) Done() bool {
+	for _, sim := range b.lanes {
+		if !sim.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// StepTo advances every lane through the steps that start before t, in
+// lane order, exactly as per-lane Simulator.StepTo calls would. It reports
+// whether all lanes have finished.
+func (b *BatchStepper) StepTo(t float64) (bool, error) {
+	return b.StepToContext(nil, t)
+}
+
+// StepToContext is StepTo with cooperative cancellation: ctx (when
+// non-nil) is checked before each lane, and its error returned as soon as
+// it fires. A cancelled call leaves every lane in a valid resumable state
+// — each lane has either fully advanced to t or not started this call, and
+// lane warm states are only ever touched by the lane's own stepper — so a
+// later StepTo/StepToContext resumes bit-identically to an uninterrupted
+// run. Lane failures are reported as *LaneError.
+func (b *BatchStepper) StepToContext(ctx context.Context, t float64) (bool, error) {
+	done := true
+	for i, sim := range b.lanes {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		laneDone, err := sim.StepTo(t)
+		if err != nil {
+			return false, &LaneError{Lane: i, Err: err}
+		}
+		if !laneDone {
+			done = false
+		}
+	}
+	return done, nil
+}
+
+// Outcomes finalises every lane and returns their outcomes in lane order.
+func (b *BatchStepper) Outcomes() []*Outcome {
+	outs := make([]*Outcome, len(b.lanes))
+	for i, sim := range b.lanes {
+		outs[i] = sim.Outcome()
+	}
+	return outs
+}
+
+// RunBatch runs every configuration to completion on a freshly allocated
+// slab and returns the outcomes in config order. Lanes run one at a time,
+// each to its own horizon, keeping the working set a single lane wide;
+// callers that need the lanes to share a clock use NewBatch + StepTo with
+// increasing epoch edges instead (internal/fleet).
+func RunBatch(cfgs []Config) ([]*Outcome, error) {
+	b, err := NewBatch(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	// Each lane's StepTo caps the target at its own MaxTime.
+	if _, err := b.StepTo(math.Inf(1)); err != nil {
+		return nil, err
+	}
+	return b.Outcomes(), nil
+}

@@ -367,24 +367,34 @@ type Simulator struct {
 
 // New validates the configuration and returns a ready simulator.
 func New(cfg Config) (*Simulator, error) {
+	sim := &Simulator{}
+	if err := initSimulator(sim, cfg); err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// initSimulator is New's body, initialising a caller-provided Simulator in
+// place so NewBatch (batch.go) can lay its lanes out in one contiguous
+// slab instead of allocating each simulator separately.
+func initSimulator(sim *Simulator, cfg Config) error {
 	switch {
 	case cfg.Cell == nil:
-		return nil, fmt.Errorf("%w: Cell", ErrMissingComponent)
+		return fmt.Errorf("%w: Cell", ErrMissingComponent)
 	case cfg.Proc == nil:
-		return nil, fmt.Errorf("%w: Proc", ErrMissingComponent)
+		return fmt.Errorf("%w: Proc", ErrMissingComponent)
 	case cfg.Reg == nil:
-		return nil, fmt.Errorf("%w: Reg", ErrMissingComponent)
+		return fmt.Errorf("%w: Reg", ErrMissingComponent)
 	case cfg.Cap == nil:
-		return nil, fmt.Errorf("%w: Cap", ErrMissingComponent)
+		return fmt.Errorf("%w: Cap", ErrMissingComponent)
 	case cfg.Irradiance == nil:
-		return nil, fmt.Errorf("%w: Irradiance", ErrMissingComponent)
+		return fmt.Errorf("%w: Irradiance", ErrMissingComponent)
 	case cfg.Controller == nil:
-		return nil, fmt.Errorf("%w: Controller", ErrMissingComponent)
+		return fmt.Errorf("%w: Controller", ErrMissingComponent)
 	}
 	if cfg.Step <= 0 || cfg.MaxTime <= 0 {
-		return nil, fmt.Errorf("%w: step=%g maxTime=%g", ErrInvalidStep, cfg.Step, cfg.MaxTime)
+		return fmt.Errorf("%w: step=%g maxTime=%g", ErrInvalidStep, cfg.Step, cfg.MaxTime)
 	}
-	sim := &Simulator{}
 	sim.state.cfg = cfg
 	if len(cfg.ClockLevels) > 0 {
 		// Validate, copy, sort ascending and deduplicate once, so the
@@ -392,7 +402,7 @@ func New(cfg Config) (*Simulator, error) {
 		// increasing slice.
 		for _, l := range cfg.ClockLevels {
 			if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
-				return nil, fmt.Errorf("%w: got %g", ErrInvalidClockLevel, l)
+				return fmt.Errorf("%w: got %g", ErrInvalidClockLevel, l)
 			}
 		}
 		levels := append([]float64(nil), cfg.ClockLevels...)
@@ -406,7 +416,7 @@ func New(cfg Config) (*Simulator, error) {
 		sim.state.cfg.ClockLevels = uniq
 	}
 	sim.state.compAbove = make([]bool, len(cfg.Comparators))
-	return sim, nil
+	return nil
 }
 
 // Run integrates the network until the job completes, the horizon elapses,

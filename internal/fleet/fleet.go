@@ -57,6 +57,12 @@ type Config struct {
 	// < 1 means 1. It must not affect the report bytes — that is the
 	// point of the epoch barrier.
 	Workers int
+	// Batch bounds how many nodes one worker advances as a contiguous
+	// lane group (a circuit.BatchStepper window) within an epoch; < 1
+	// selects ceil(Nodes/Workers) — one group per worker. Like Workers
+	// it is an execution detail, not part of the Spec: the report and
+	// trace bytes are identical at every batch size.
+	Batch int
 	// Tracer, when non-nil, receives fleet.* events (run span, per-epoch
 	// counters) on the sim clock. Events are emitted by the scheduler
 	// goroutine only, between barriers, so traces are deterministic too.
@@ -83,6 +89,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = (cfg.Nodes + cfg.Workers - 1) / cfg.Workers
 	}
 	return cfg
 }

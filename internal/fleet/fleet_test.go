@@ -22,6 +22,11 @@ const testSpec = "n=24,seed=11,horizon=0.02,epoch=1e-3,step=2e-5"
 // renderFleet runs the spec with the given worker count and returns the
 // report bytes.
 func renderFleet(t *testing.T, specText string, workers int) []byte {
+	return renderFleetBatch(t, specText, workers, 0)
+}
+
+// renderFleetBatch is renderFleet with an explicit batch-size knob.
+func renderFleetBatch(t *testing.T, specText string, workers, batch int) []byte {
 	t.Helper()
 	spec, err := ParseSpec(specText)
 	if err != nil {
@@ -29,6 +34,7 @@ func renderFleet(t *testing.T, specText string, workers int) []byte {
 	}
 	cfg := spec.Config()
 	cfg.Workers = workers
+	cfg.Batch = batch
 	rep, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -41,12 +47,20 @@ func renderFleet(t *testing.T, specText string, workers int) []byte {
 }
 
 // TestFleetWorkerParity is the fleet half of the repo's signature
-// invariant: report bytes must not depend on the worker count.
+// invariant: report bytes must not depend on the worker count — nor, now
+// that workers advance contiguous lane groups, on the batch size.
 func TestFleetWorkerParity(t *testing.T) {
 	ref := renderFleet(t, testSpec, 1)
 	for _, workers := range []int{2, 8} {
 		if got := renderFleet(t, testSpec, workers); !bytes.Equal(got, ref) {
 			t.Errorf("workers=%d: report differs from workers=1:\n%s\n-- vs --\n%s", workers, got, ref)
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, batch := range []int{1, 3, 8, 1000} {
+			if got := renderFleetBatch(t, testSpec, workers, batch); !bytes.Equal(got, ref) {
+				t.Errorf("workers=%d batch=%d: report differs from the scalar reference", workers, batch)
+			}
 		}
 	}
 }
@@ -156,6 +170,37 @@ func TestFleetCancellation(t *testing.T) {
 	_, err := Run(Config{Nodes: 4, Seed: 1, Ctx: ctx})
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// countingCtx fires context.Canceled after a fixed number of Err checks.
+// With Workers=1 the stepping is single-threaded, so the cancellation lands
+// deterministically inside an epoch's lane loop — mid-batch, between two
+// lanes, not at the epoch barrier.
+type countingCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countingCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// TestFleetMidBatchCancellation: a context that fires between two lanes of
+// a batch still aborts the run with the context's error. The barrier check
+// consumes one Err call and each lane one more, so a budget of 5 on a
+// 16-lane batch cancels after lane 4 — squarely mid-batch. (That an
+// interrupted batch leaves every lane's warm state valid and resumable is
+// pinned bit-exactly by circuit.TestBatchCancelResumeParity.)
+func TestFleetMidBatchCancellation(t *testing.T) {
+	ctx := &countingCtx{Context: context.Background(), remaining: 5}
+	_, err := Run(Config{Nodes: 16, Seed: 1, Workers: 1, Batch: 16, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-batch cancelled run returned %v, want context.Canceled", err)
 	}
 }
 

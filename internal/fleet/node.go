@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -47,11 +48,12 @@ type node struct {
 // fleet at 10M nodes before labels collide, far beyond the engine's reach.
 func nodeStream(id int) string { return fmt.Sprintf("node/%07d", id) }
 
-// buildNode constructs node id of the fleet. All randomness is drawn from
-// sources seeded via fault.StreamSeed(seed, "node/<id>", domain) — one
-// domain per concern — so every node's environment and trims are
-// independent of every other node's and of the build order.
-func buildNode(cfg Config, id int) (*node, error) {
+// buildNodeConfig constructs the circuit configuration and controller of
+// node id. All randomness is drawn from sources seeded via
+// fault.StreamSeed(seed, "node/<id>", domain) — one domain per concern —
+// so every node's environment and trims are independent of every other
+// node's and of the build order.
+func buildNodeConfig(cfg Config, id int) (circuit.Config, *sched.DeadlineController, error) {
 	// Weather: the node's private sky. Dwell times and the OU relaxation
 	// scale with the horizon so short fleet runs still see cloud bursts.
 	gen := weather.NewSeededGenerator(
@@ -61,7 +63,7 @@ func buildNode(cfg Config, id int) (*node, error) {
 	)
 	sky, err := gen.Trace(cfg.Horizon, cfg.Horizon/256, nil)
 	if err != nil {
-		return nil, fmt.Errorf("node %d weather: %w", id, err)
+		return circuit.Config{}, nil, fmt.Errorf("node %d weather: %w", id, err)
 	}
 
 	// Trims: initial charge, job size, peripheral draw and site exposure.
@@ -80,7 +82,7 @@ func buildNode(cfg Config, id int) (*node, error) {
 
 	storage, err := cap.New(nodeCapacitance, v0, nodeCapMax)
 	if err != nil {
-		return nil, fmt.Errorf("node %d storage: %w", id, err)
+		return circuit.Config{}, nil, fmt.Errorf("node %d storage: %w", id, err)
 	}
 	ctrl := &sched.DeadlineController{
 		Cycles:      cycles,
@@ -88,7 +90,7 @@ func buildNode(cfg Config, id int) (*node, error) {
 		Sprint:      nodeSprint,
 		AllowBypass: true,
 	}
-	sim, err := circuit.New(circuit.Config{
+	return circuit.Config{
 		Cell:       pv.NewCell(),
 		Proc:       cpu.NewProcessor(),
 		Reg:        reg.NewSC(),
@@ -99,26 +101,39 @@ func buildNode(cfg Config, id int) (*node, error) {
 		Step:       cfg.Step,
 		MaxTime:    cfg.Horizon,
 		JobCycles:  cycles,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("node %d circuit: %w", id, err)
-	}
-	return &node{id: id, sim: sim, ctrl: ctrl, job: cycles}, nil
+	}, ctrl, nil
 }
 
-// buildNodes constructs the whole fleet on the worker pool. Construction
-// is deterministic per node (each writes only its own index), so parallel
-// builds yield the same fleet as serial ones.
+// buildNodes constructs the whole fleet: the per-node configurations are
+// built on the worker pool (construction is deterministic per node — each
+// writes only its own index — so parallel builds yield the same fleet as
+// serial ones), then the population is laid out as the lanes of one
+// contiguous circuit.NewBatch slab in node-ID order. The scheduler's
+// per-epoch lane groups are therefore windows of sequential memory, not
+// scattered pointer targets.
 func buildNodes(cfg Config) ([]*node, error) {
-	nodes := make([]*node, cfg.Nodes)
+	cfgs := make([]circuit.Config, cfg.Nodes)
+	ctrls := make([]*sched.DeadlineController, cfg.Nodes)
 	errs := make([]error, cfg.Nodes)
 	runner.ForEach(cfg.Nodes, cfg.Workers, func(i int) {
-		nodes[i], errs[i] = buildNode(cfg, i)
+		cfgs[i], ctrls[i], errs[i] = buildNodeConfig(cfg, i)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	batch, err := circuit.NewBatch(cfgs)
+	if err != nil {
+		var le *circuit.LaneError
+		if errors.As(err, &le) {
+			return nil, fmt.Errorf("node %d circuit: %w", le.Lane, le.Err)
+		}
+		return nil, err
+	}
+	nodes := make([]*node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = &node{id: i, sim: batch.Lane(i), ctrl: ctrls[i], job: ctrls[i].Cycles}
 	}
 	return nodes, nil
 }

@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/circuit"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -24,8 +26,10 @@ type retiredAgg struct {
 // The loop alternates two strictly separated regimes:
 //
 //   - inside an epoch, the active nodes advance concurrently on the worker
-//     pool (runner.ForEach); each worker touches only its own node, so the
-//     schedule cannot leak into the physics;
+//     pool, grouped into contiguous lane windows of at most cfg.Batch nodes
+//     (runner.ForEachBatch over circuit.Group steppers); each worker touches
+//     only its own window's nodes, so the schedule cannot leak into the
+//     physics;
 //   - at the epoch barrier, the scheduler goroutine alone reads the active
 //     nodes' Progress in node-ID order, accumulating aggregates on top of
 //     the retired nodes' frozen totals and emitting fleet.* trace events.
@@ -46,11 +50,15 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 
 	active := make([]*node, len(nodes))
 	copy(active, nodes)
-	stepErrs := make([]error, len(nodes))
+	lanes := make([]*circuit.Simulator, len(nodes))
+	groupErrs := make([]error, len(nodes))
 	var retired retiredAgg
 	for epoch := 1; len(active) > 0; epoch++ {
 		// A cancelled caller (an abandoned HTTP request, a killed CLI run)
-		// stops at the next barrier instead of simulating to the horizon.
+		// stops at the next barrier instead of simulating to the horizon;
+		// StepToContext additionally checks before every lane inside an
+		// epoch, so a long epoch aborts mid-batch without corrupting the
+		// not-yet-advanced lanes.
 		if cfg.Ctx != nil {
 			if err := cfg.Ctx.Err(); err != nil {
 				return nil, fmt.Errorf("fleet: run cancelled: %w", err)
@@ -60,13 +68,25 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 		if tEdge > cfg.Horizon {
 			tEdge = cfg.Horizon
 		}
-		batch := active
-		runner.ForEach(len(batch), cfg.Workers, func(i int) {
-			_, stepErrs[i] = batch[i].sim.StepTo(tEdge)
+		n := len(active)
+		for i, nd := range active {
+			lanes[i] = nd.sim
+		}
+		eff := cfg.Batch
+		if eff > n {
+			eff = n // mirror ForEachBatch's clamp so group indexing matches
+		}
+		runner.ForEachBatch(n, eff, cfg.Workers, func(lo, hi int) {
+			grp := circuit.Group(lanes[lo:hi])
+			_, groupErrs[lo/eff] = grp.StepToContext(cfg.Ctx, tEdge)
 		})
-		for i := range batch {
-			if stepErrs[i] != nil {
-				return nil, fmt.Errorf("fleet: node %d: %w", batch[i].id, stepErrs[i])
+		for g := 0; g < (n+eff-1)/eff; g++ {
+			if err := groupErrs[g]; err != nil {
+				var le *circuit.LaneError
+				if errors.As(err, &le) {
+					return nil, fmt.Errorf("fleet: node %d: %w", active[g*eff+le.Lane].id, le.Err)
+				}
+				return nil, fmt.Errorf("fleet: run cancelled: %w", err)
 			}
 		}
 

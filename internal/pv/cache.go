@@ -82,6 +82,9 @@ var (
 
 // flightCall is one in-progress cold solve that concurrent callers of the
 // same key can wait on instead of re-running the solver (singleflight).
+// val stays nil until the leader's compute returns; compute functions must
+// never legitimately return nil (ours return [2]float64 boxes or non-empty
+// slices), so followers use nil to detect a leader that died mid-solve.
 type flightCall struct {
 	wg  sync.WaitGroup
 	val any
@@ -93,11 +96,17 @@ type flightCall struct {
 // and share it. The solvers are deterministic, so followers observe
 // exactly the bytes the leader produced — coalescing never changes
 // results, it only removes duplicate work under concurrent cold misses
-// (a request storm on a fresh hemserved process hits each key once).
+// (a request storm on a fresh hemserved process hits each key once, and
+// a SolveBatch fan-out whose lanes share curve keys hits each key once
+// per process, not once per lane).
 //
 // Distinct keys never wait on each other, and a leader's nested solve
 // (MPP's internal Voc lookup) uses a different key, so no cycle — and
-// therefore no deadlock — is possible.
+// therefore no deadlock — is possible. The flight entry is removed and
+// the waitgroup released on the leader's way out even if compute panics;
+// followers then observe a nil val and recompute for themselves (same
+// deterministic bytes), so one panicking caller can neither strand its
+// followers on the waitgroup nor poison the key forever.
 func coalesce(key any, compute func() any) any {
 	call := &flightCall{}
 	call.wg.Add(1)
@@ -105,11 +114,18 @@ func coalesce(key any, compute func() any) any {
 		cacheCoalesced.Add(1)
 		fc := c.(*flightCall)
 		fc.wg.Wait()
+		if fc.val == nil {
+			// The leader panicked before producing a value (the panic
+			// propagated to that caller). Solve independently.
+			return compute()
+		}
 		return fc.val
 	}
+	defer func() {
+		flights.Delete(key)
+		call.wg.Done()
+	}()
 	call.val = compute()
-	flights.Delete(key)
-	call.wg.Done()
 	return call.val
 }
 

@@ -297,13 +297,20 @@ func (c *Cell) Curve(irradiance float64, n int) []Point {
 	})
 }
 
-// curveUncached samples the I-V curve directly.
+// curveUncached samples the I-V curve directly. The solves run through
+// SolveBatch in sweep mode: the grid is exactly the fine, slowly-moving
+// voltage sequence the walking warm state was built for, and the results
+// are bit-identical to per-point Current calls (see batch.go).
 func (c *Cell) curveUncached(irradiance float64, n int) []Point {
 	voc := c.OpenCircuitVoltage(irradiance)
-	pts := make([]Point, n)
+	vs := make([]float64, n)
 	for k := 0; k < n; k++ {
-		v := voc * float64(k) / float64(n-1)
-		i := c.Current(v, irradiance)
+		vs[k] = voc * float64(k) / float64(n-1)
+	}
+	is := c.SolveBatch(vs, []float64{irradiance}, nil, nil)
+	pts := make([]Point, n)
+	for k, v := range vs {
+		i := is[k]
 		if i < 0 {
 			i = 0
 		}

@@ -121,6 +121,35 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachBatch partitions [0, n) into consecutive spans of at most batch
+// indices and runs fn(lo, hi) for each span on up to `workers` goroutines.
+// It is the grouped counterpart of ForEach for callers whose unit of work
+// is a contiguous window rather than a single index — a fleet epoch
+// advancing the lanes a worker owns through one circuit.BatchStepper, a
+// sweep solving a window of configurations per call. The same contract
+// applies: each span touches only its own indices' state, the caller
+// reduces in index order after the barrier, and the span-to-goroutine
+// assignment must never leak into deterministic output. batch < 1 (or
+// batch >= n) selects a single span per remaining ForEach slot, i.e. the
+// whole range in one call when workers is also 1.
+func ForEachBatch(n, batch, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if batch < 1 || batch > n {
+		batch = n
+	}
+	groups := (n + batch - 1) / batch
+	ForEach(groups, workers, func(g int) {
+		lo := g * batch
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
 // pool fans the jobs out over the workers, filling results[i] and closing
 // done[i] as each job completes. When results should be consumed as they
 // arrive (Stream), the returned channels signal per-job completion; Run

@@ -175,3 +175,34 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
 	ForEach(-1, 4, func(int) { t.Fatal("fn called for n=-1") })
 }
+
+func TestForEachBatchCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		for _, batch := range []int{-1, 0, 1, 7, 64, 200, 500} {
+			const n = 200
+			var hits [n]atomic.Int32
+			ForEachBatch(n, batch, workers, func(lo, hi int) {
+				if lo >= hi || hi > n {
+					t.Errorf("batch=%d: bad span [%d, %d)", batch, lo, hi)
+				}
+				want := batch
+				if batch < 1 || batch > n {
+					want = n
+				}
+				if hi-lo > want {
+					t.Errorf("batch=%d: span [%d, %d) wider than batch", batch, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d batch=%d: index %d executed %d times", workers, batch, i, got)
+				}
+			}
+		}
+	}
+	ForEachBatch(0, 4, 2, func(int, int) { t.Fatal("fn called for n=0") })
+	ForEachBatch(-3, 4, 2, func(int, int) { t.Fatal("fn called for n=-3") })
+}
