@@ -5,8 +5,9 @@
 //     report render, and the cached experiment HTTP handler.
 //   - sim (BENCH_sim.json): the simulation kernel — the warm-started PV
 //     solve versus the stateless bisection reference, the batched sweep
-//     solver at width 1 and 10k, a 2000-step circuit run, a 16-lane
-//     circuit.RunBatch, and one full registry experiment end to end.
+//     solver at width 1 and 10k, a 2000-step circuit run with energy
+//     profiling off and on, a 16-lane circuit.RunBatch, and one full
+//     registry experiment end to end.
 //
 // It measures each path in-process, writes the measured ns/op to a JSON
 // file, and exits non-zero if any path regressed more than the tolerance
@@ -36,6 +37,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/expt"
 	"repro/internal/fleet"
+	"repro/internal/prof"
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/serve"
@@ -152,7 +154,10 @@ func simPaths() map[string]hotPath {
 		return err
 	}
 
-	circuitRun := func() error {
+	// led == nil is the production default (profiling off); the paired
+	// profile_on/profile_off entries guard the observer's overhead and,
+	// more importantly, that the off path stays free.
+	circuitRun := func(led *prof.Ledger) error {
 		storage, err := cap.New(100e-6, 1.0, 2.0)
 		if err != nil {
 			return err
@@ -167,6 +172,7 @@ func simPaths() map[string]hotPath {
 			ClockLevels: []float64{10e6, 20e6, 40e6, 80e6},
 			Step:        5e-6,
 			MaxTime:     2000 * 5e-6,
+			Ledger:      led,
 		})
 		if err != nil {
 			return err
@@ -192,10 +198,31 @@ func simPaths() map[string]hotPath {
 		},
 		"circuit_run_2000step": func(n int) error {
 			for i := 0; i < n; i++ {
-				if err := circuitRun(); err != nil {
+				if err := circuitRun(nil); err != nil {
 					return err
 				}
 			}
+			return nil
+		},
+		// The same 2000-step run with the energy ledger detached/attached:
+		// off must track circuit_run_2000step (the nil check is the whole
+		// cost), on bounds the per-step accounting overhead.
+		"profile_off_step": func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := circuitRun(nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"profile_on_step": func(n int) error {
+			var led prof.Ledger
+			for i := 0; i < n; i++ {
+				if err := circuitRun(&led); err != nil {
+					return err
+				}
+			}
+			benchSink = led.TotalJoules()
 			return nil
 		},
 		"sim_full_run": func(n int) error {

@@ -12,7 +12,8 @@
 //
 //	hemnode [-duration 6] [-seed 7] [-policy tracked|fixed|mep]
 //	        [-cloudiness 0.4] [-cap 100e-6] [-csv trace.csv]
-//	        [-trace events.jsonl] [-campaigns 1] [-j N] [-batch 1]
+//	        [-trace events.jsonl] [-profile energy.pb.gz]
+//	        [-campaigns 1] [-j N] [-batch 1]
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/imgproc"
 	"repro/internal/plot"
+	"repro/internal/prof"
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/runner"
@@ -54,6 +56,7 @@ type campaignConfig struct {
 	capacity   float64
 	csvPath    string
 	tracePath  string
+	profPath   string
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -66,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 		capacity   = fs.Float64("cap", 100e-6, "storage capacitance (farads)")
 		csvPath    = fs.String("csv", "", "write the irradiance trace to this CSV file")
 		tracePath  = fs.String("trace", "", "write simulation events to this file (.json selects Chrome trace format, else JSONL)")
+		profPath   = fs.String("profile", "", "write the campaign's energy-flow pprof profile to this file")
 		campaigns  = fs.Int("campaigns", 1, "number of campaigns to fan out (seeds seed..seed+N-1)")
 		batch      = fs.Int("batch", 1, "consecutive campaigns one worker job runs back to back; output bytes are identical at every batch size")
 		jobs       = fs.Int("j", runtime.NumCPU(), "campaigns to run in parallel")
@@ -91,6 +95,9 @@ func run(args []string, stdout io.Writer) error {
 	if *campaigns > 1 && *tracePath != "" {
 		return fmt.Errorf("-trace supports a single campaign (run fan-outs without it)")
 	}
+	if *campaigns > 1 && *profPath != "" {
+		return fmt.Errorf("-profile supports a single campaign (run fan-outs without it)")
+	}
 
 	cfg := campaignConfig{
 		duration:   *duration,
@@ -100,6 +107,7 @@ func run(args []string, stdout io.Writer) error {
 		capacity:   *capacity,
 		csvPath:    *csvPath,
 		tracePath:  *tracePath,
+		profPath:   *profPath,
 	}
 	if *campaigns == 1 {
 		return campaign(cfg, stdout)
@@ -195,6 +203,12 @@ func campaign(cfg campaignConfig, stdout io.Writer) error {
 		rec = trace.NewRecorder()
 		tracer = rec
 	}
+	var profile *prof.Profile
+	var led *prof.Ledger // stays nil (profiling off) without -profile
+	if cfg.profPath != "" {
+		profile = prof.New()
+		led = profile.Ledger(prof.Scope{Experiment: "hemnode", Node: cfg.policy})
+	}
 
 	var cycles, harvested float64
 	switch cfg.policy {
@@ -210,6 +224,7 @@ func campaign(cfg campaignConfig, stdout io.Writer) error {
 			Step:       20e-6,
 			Tracer:     tracer,
 			TraceTrack: cfg.policy,
+			Ledger:     led,
 		})
 		if err != nil {
 			return fmt.Errorf("tracked run: %w", err)
@@ -232,6 +247,7 @@ func campaign(cfg campaignConfig, stdout io.Writer) error {
 			MaxTime:    cfg.duration,
 			Tracer:     tracer,
 			TraceTrack: cfg.policy,
+			Ledger:     led,
 		})
 		if err != nil {
 			return fmt.Errorf("assemble: %w", err)
@@ -255,6 +271,20 @@ func campaign(cfg campaignConfig, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "trace events written to %s (%d events)\n", cfg.tracePath, rec.Len())
+	}
+	if profile != nil {
+		f, err := os.Create(cfg.profPath)
+		if err != nil {
+			return fmt.Errorf("create profile file: %w", err)
+		}
+		defer f.Close()
+		if err := prof.WritePprof(f, profile); err != nil {
+			return fmt.Errorf("write profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "energy profile written to %s\n", cfg.profPath)
 	}
 	return nil
 }

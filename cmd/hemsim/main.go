@@ -20,11 +20,20 @@
 // of the same spec; the nodes/sec line goes to stderr so piping stdout
 // stays deterministic.
 //
+// With -profile the profiled pass of profile-capable experiments re-runs
+// with an exact energy-and-time ledger attached to every integration step
+// and writes the merged result as a gzipped pprof profile: two sample
+// types, sim_seconds and energy_joules, attributed along component/state
+// stacks (cpu/sprint, pv/harvest, ...). Render flamegraphs with
+// `go tool pprof -http=: <file>`. Profile bytes are byte-identical for
+// every -j and every -batch.
+//
 // Usage:
 //
-//	hemsim [-list] [-csv dir] [-trace file] [-faults plan.json] [-j N]
-//	       [-timing] [experiment...]
-//	hemsim -fleet n=1000[,horizon=0.05,...] [-seed S] [-trace file] [-j N] [-batch B]
+//	hemsim [-list] [-csv dir] [-trace file] [-profile file.pb.gz]
+//	       [-faults plan.json] [-j N] [-timing] [experiment...]
+//	hemsim -fleet n=1000[,horizon=0.05,...] [-seed S] [-trace file]
+//	       [-profile file.pb.gz] [-progress] [-j N] [-batch B]
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/fault"
 	"repro/internal/fleet"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -61,7 +71,9 @@ func run(args []string, stdout io.Writer) error {
 	traceFile := fs.String("trace", "", "write traced experiments' simulation events to <file> (.json selects Chrome trace format, else JSONL)")
 	traceWall := fs.Bool("trace-wall", false, "add wall-clock runner spans (worker, queue wait) to the -trace output; non-deterministic")
 	faultsFile := fs.String("faults", "", "run chaos-capable experiments under the fault plan in <file> (JSON; requires -trace)")
+	profileFile := fs.String("profile", "", "write an energy-flow pprof profile of profile-capable experiments (or the -fleet run) to <file>")
 	fleetSpec := fs.String("fleet", "", "run a shared-clock node fleet with the given spec (e.g. n=1000 or n=500,horizon=0.1) instead of experiments")
+	progress := fs.Bool("progress", false, "with -fleet, print a per-epoch progress ticker to stderr")
 	seed := fs.Int64("seed", 0, "master seed for -fleet (overrides a seed= key in the spec)")
 	batch := fs.Int("batch", 0, "nodes one -fleet worker advances as a contiguous lane group per epoch; 0 splits the fleet evenly across workers")
 	// Accept flags before and after the experiment IDs (`hemsim all -j 4`):
@@ -86,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 				seedSet = true
 			}
 		})
-		return runFleet(*fleetSpec, *seed, seedSet, *jobs, *batch, *traceFile, stdout)
+		return runFleet(*fleetSpec, *seed, seedSet, *jobs, *batch, *traceFile, *profileFile, *progress, stdout)
 	}
 	var plan *fault.Plan
 	if *faultsFile != "" {
@@ -126,7 +138,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var work []runner.Job
-	batches := make([][]trace.Event, len(ids)) // per-job events, merged in registry order
+	batches := make([][]trace.Event, len(ids))  // per-job events, merged in registry order
+	profiles := make([]*prof.Profile, len(ids)) // per-job profiles, merged in registry order
 	for i, id := range ids {
 		e, ok := registry[id]
 		if !ok {
@@ -169,6 +182,24 @@ func run(args []string, stdout io.Writer) error {
 				return nil
 			}
 		}
+		if *profileFile != "" && e.Profile != nil {
+			// The profiled pass re-runs the driver with ledgers attached;
+			// per-job profiles keep the hot loops worker-private and the
+			// merge deterministic (scopes are disjoint across experiments).
+			profiled := e.Profile
+			run := job.Run
+			job.Run = func(w io.Writer) error {
+				if err := run(w); err != nil {
+					return err
+				}
+				pp := prof.New()
+				if err := profiled(pp); err != nil {
+					return fmt.Errorf("profile %s: %w", id, err)
+				}
+				profiles[i] = pp
+				return nil
+			}
+		}
 		work = append(work, job)
 	}
 	if *csvDir != "" {
@@ -202,6 +233,17 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if *profileFile != "" {
+		merged := prof.New()
+		for _, pp := range profiles {
+			if pp != nil {
+				merged.Merge(pp)
+			}
+		}
+		if err := writeProfile(*profileFile, merged); err != nil {
+			return err
+		}
+	}
 	if *timing && len(work) > 1 {
 		writeTimingFooter(stdout, timings, *jobs, time.Since(start))
 	}
@@ -211,7 +253,7 @@ func run(args []string, stdout io.Writer) error {
 // runFleet executes one fleet run. The report bytes on stdout depend only
 // on the resolved spec — the determinism contract extends the experiments'
 // -j parity to fleets — so the wall-clock rate is printed to stderr.
-func runFleet(specText string, seed int64, seedSet bool, workers, batch int, traceFile string, stdout io.Writer) error {
+func runFleet(specText string, seed int64, seedSet bool, workers, batch int, traceFile, profileFile string, progress bool, stdout io.Writer) error {
 	spec, err := fleet.ParseSpec(specText)
 	if err != nil {
 		return err
@@ -227,6 +269,17 @@ func runFleet(specText string, seed int64, seedSet bool, workers, batch int, tra
 		rec = trace.NewRecorder()
 		cfg.Tracer = rec
 	}
+	if profileFile != "" {
+		cfg.Profile = prof.New()
+		cfg.ProfileScope = "fleet"
+	}
+	if progress {
+		// The ticker goes to stderr so piped stdout stays deterministic.
+		cfg.OnEpoch = func(s fleet.Snapshot) {
+			fmt.Fprintf(os.Stderr, "hemsim: fleet t=%.4fs active=%d completed=%d browned_out=%d harvest=%.3fmJ\n",
+				s.Time, s.Active, s.Completed, s.BrownedOut, s.Harvested*1e3)
+		}
+	}
 	start := time.Now()
 	rep, err := fleet.Run(cfg)
 	if err != nil {
@@ -237,6 +290,11 @@ func runFleet(specText string, seed int64, seedSet bool, workers, batch int, tra
 	}
 	if traceFile != "" {
 		if err := writeTrace(traceFile, [][]trace.Event{rec.Events()}, nil, false); err != nil {
+			return err
+		}
+	}
+	if profileFile != "" {
+		if err := writeProfile(profileFile, cfg.Profile); err != nil {
 			return err
 		}
 	}
@@ -276,6 +334,19 @@ func writeTrace(path string, batches [][]trace.Event, timings []runner.Result, w
 	defer f.Close()
 	if err := trace.Write(f, traceFormat(path), events); err != nil {
 		return fmt.Errorf("write trace: %w", err)
+	}
+	return f.Close()
+}
+
+// writeProfile writes the merged energy profile as gzipped pprof bytes.
+func writeProfile(path string, p *prof.Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create profile file: %w", err)
+	}
+	defer f.Close()
+	if err := prof.WritePprof(f, p); err != nil {
+		return fmt.Errorf("write profile: %w", err)
 	}
 	return f.Close()
 }

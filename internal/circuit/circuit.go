@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cap"
 	"repro/internal/cpu"
+	"repro/internal/prof"
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/trace"
@@ -206,6 +207,15 @@ type Config struct {
 	// multi-run traces keep one timeline lane per run.
 	TraceTrack string
 
+	// Ledger, when non-nil, receives this run's exact energy-flow profile:
+	// every step's dt and load energy land in the active time bin
+	// (dead/brownout when halted, cpu/idle when the clock is gated,
+	// otherwise the phase the controller declared via SetProfilePhase) and
+	// the step's harvest/reverse/loss/aux energy in the matching flow bins.
+	// Nil disables profiling: the step loop then pays one nil comparison
+	// per step and allocates nothing (see prof package doc).
+	Ledger *prof.Ledger
+
 	// StopOnBrownout ends the run at the first processor halt when true;
 	// otherwise the simulation continues (the node may recover).
 	StopOnBrownout bool
@@ -239,6 +249,11 @@ type State struct {
 
 	stopRequested bool
 	stopReason    string
+
+	// profPhase is the time bin the controller last declared; the profiler
+	// overrides it with dead/brownout and cpu/idle from circuit state (see
+	// profileStep). Untouched when cfg.Ledger is nil.
+	profPhase prof.Bin
 
 	outcome Outcome
 }
@@ -345,6 +360,16 @@ func (s *State) SetSupply(v float64) {
 
 // SetBypass switches between regulated and direct-connection operation.
 func (s *State) SetBypass(on bool) { s.bypass = on }
+
+// SetProfilePhase declares the workload phase subsequent steps' time and
+// load energy are attributed to when profiling is on (cpu/active,
+// cpu/sprint, intermittent/checkpoint, ...). Like every controller
+// command it takes effect from the next step. A no-op without a Ledger —
+// controllers may call it unconditionally.
+func (s *State) SetProfilePhase(b prof.Bin) { s.profPhase = b }
+
+// ProfilePhase returns the last declared workload phase.
+func (s *State) ProfilePhase() prof.Bin { return s.profPhase }
 
 // Simulator runs a configured transient simulation, either in one shot
 // (Run) or incrementally as a resumable stepper (Init / StepTo / Outcome,

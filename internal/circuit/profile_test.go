@@ -1,0 +1,117 @@
+package circuit
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/prof"
+)
+
+// profiledOutcome runs one config (fresh components each call) and returns
+// the outcome plus the ledger (nil ledger = profiling off).
+func runProfiled(t *testing.T, led *prof.Ledger) *Outcome {
+	t.Helper()
+	cfg := allocRunConfig(t, 20e-3, 0)
+	cfg.AuxLoad = func(ts float64) float64 {
+		if ts >= 5e-3 && ts < 6e-3 {
+			return 0.002 // a radio burst
+		}
+		return 0
+	}
+	cfg.Ledger = led
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The profiler is an observer: attaching a ledger must not change a single
+// bit of the simulated outcome.
+func TestProfiledRunPhysicsUnchanged(t *testing.T) {
+	bare := runProfiled(t, nil)
+	var led prof.Ledger
+	profiled := runProfiled(t, &led)
+	if !reflect.DeepEqual(bare, profiled) {
+		t.Fatalf("profiling changed the outcome:\nbare     %+v\nprofiled %+v", bare, profiled)
+	}
+	if led.Empty() {
+		t.Fatal("profiled run left the ledger empty")
+	}
+}
+
+// The ledger must reconcile with the Outcome's energy accounting: the flow
+// bins repeat the identical float additions in identical order, so
+// harvest/loss/aux match bitwise; the time bins regroup EnergyDelivered by
+// phase (order changes, so compare at 1e-9 relative — the acceptance bar).
+func TestLedgerReconcilesWithOutcome(t *testing.T) {
+	var led prof.Ledger
+	out := runProfiled(t, &led)
+
+	if got, want := led.Joules[prof.BinPVHarvest], out.EnergyHarvested; got != want {
+		t.Errorf("pv/harvest = %v, want EnergyHarvested %v (bitwise)", got, want)
+	}
+	if got, want := led.Joules[prof.BinRegLoss], out.EnergyLost; got != want {
+		t.Errorf("reg/loss = %v, want EnergyLost %v (bitwise)", got, want)
+	}
+	if got, want := led.Joules[prof.BinRadioTx], out.EnergyAux; got != want {
+		t.Errorf("radio/tx = %v, want EnergyAux %v (bitwise)", got, want)
+	}
+
+	var delivered float64
+	for b := 0; b <= int(prof.BinDead); b++ {
+		delivered += led.Joules[b]
+	}
+	if rel := math.Abs(delivered-out.EnergyDelivered) / out.EnergyDelivered; rel > 1e-9 {
+		t.Errorf("time-bin joules = %v, want EnergyDelivered %v (rel err %.2e)",
+			delivered, out.EnergyDelivered, rel)
+	}
+
+	if rel := math.Abs(led.TotalSeconds()-out.Duration) / out.Duration; rel > 1e-9 {
+		t.Errorf("ledger seconds = %v, want duration %v (rel err %.2e)",
+			led.TotalSeconds(), out.Duration, rel)
+	}
+}
+
+// profAllocs mirrors runAllocs with a ledger attached (or not).
+func profAllocs(t *testing.T, maxTime float64, on bool) float64 {
+	t.Helper()
+	var led prof.Ledger
+	return testing.AllocsPerRun(5, func() {
+		cfg := allocRunConfig(t, maxTime, 0)
+		if on {
+			cfg.Ledger = &led
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestProfileOffAllocations pins the unprofiled step loop at zero
+// allocations per step — the profiler hook must cost exactly one nil
+// comparison when off — and the profiled loop too (a ledger is fixed
+// arrays, so profiling adds float adds, not allocations).
+func TestProfileOffAllocations(t *testing.T) {
+	const shortSteps, longSteps = 400, 4000
+	for _, tc := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		short := profAllocs(t, shortSteps*5e-6, tc.on)
+		long := profAllocs(t, longSteps*5e-6, tc.on)
+		if perStep := (long - short) / (longSteps - shortSteps); perStep > 0.01 {
+			t.Errorf("profile-%s loop allocates %.3f/step (short=%.0f long=%.0f), want 0",
+				tc.name, perStep, short, long)
+		}
+	}
+}

@@ -237,6 +237,12 @@ func (s *Simulator) stepOnce() {
 	}
 	st.cyclesDone += st.effFreq * cfg.Step
 
+	// Energy-flow profiling observes the step just accounted; off (nil)
+	// costs one comparison and the physics above never sees it.
+	if led := cfg.Ledger; led != nil {
+		s.profileStep(led, aux)
+	}
+
 	if st.halted && !st.outcome.BrownedOut {
 		st.outcome.BrownedOut = true
 		st.outcome.BrownoutTime = st.time

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cap"
 	"repro/internal/circuit"
 	"repro/internal/mppt"
+	"repro/internal/prof"
 	"repro/internal/reg"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -145,6 +146,9 @@ type TrackedRunConfig struct {
 	Tracer trace.Tracer
 	// TraceTrack labels this run's events; empty selects "tracked".
 	TraceTrack string
+	// Ledger, when non-nil, accumulates the run's exact energy-and-time
+	// profile (internal/prof); nil keeps the step loop allocation-free.
+	Ledger *prof.Ledger
 }
 
 // TrackedResult is the outcome of a tracked run.
@@ -187,6 +191,7 @@ func (m *Manager) RunTracked(cfg TrackedRunConfig) (*TrackedResult, error) {
 		ClockLevels: cfg.ClockLevels,
 		Tracer:      m.runTracer(cfg.Tracer),
 		TraceTrack:  orTrack(cfg.TraceTrack, "tracked"),
+		Ledger:      cfg.Ledger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("assemble tracked run: %w", err)
@@ -230,6 +235,9 @@ type DeadlineRunConfig struct {
 	Tracer trace.Tracer
 	// TraceTrack labels this run's events; empty selects "deadline".
 	TraceTrack string
+	// Ledger, when non-nil, accumulates the run's exact energy-and-time
+	// profile (internal/prof); nil keeps the step loop allocation-free.
+	Ledger *prof.Ledger
 }
 
 // DeadlineResult is the outcome of a deadline-constrained run.
@@ -273,6 +281,7 @@ func (m *Manager) RunDeadlineJob(cfg DeadlineRunConfig) (*DeadlineResult, error)
 		ClockLevels:    cfg.ClockLevels,
 		Tracer:         m.runTracer(cfg.Tracer),
 		TraceTrack:     orTrack(cfg.TraceTrack, "deadline"),
+		Ledger:         cfg.Ledger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("assemble deadline run: %w", err)

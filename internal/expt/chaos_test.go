@@ -112,12 +112,12 @@ func TestGoldenChaosTrace(t *testing.T) {
 // actually reaches the physics: the fig11b chaos run under a total
 // mid-scenario blackout must not beat its benign twin.
 func TestChaosBrownoutsChangeOutcome(t *testing.T) {
-	benign, err := fig11bChaos(nil, nil)
+	benign, err := fig11bChaos(nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	plan := fault.Plan{Brownouts: []fault.Pulse{{AtS: 2e-3, DurationS: 40e-3}}}
-	dark, err := fig11bChaos(nil, &plan)
+	dark, err := fig11bChaos(nil, &plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/plot"
+	"repro/internal/prof"
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/trace"
@@ -97,6 +98,11 @@ type Experiment struct {
 	// with the tracer attached. nil for experiments without a chaos
 	// surface (the fault layer maps it to ErrNoChaos); see ChaosIDs.
 	Chaos func(plan fault.Plan, tr trace.Tracer) error
+	// Profile re-runs the experiment accumulating its exact energy-and-
+	// time ledgers into p. nil for experiments with no transient
+	// simulation (the profile layer maps it to ErrNoProfile); see
+	// ProfiledIDs.
+	Profile func(p *prof.Profile) error
 }
 
 // reporter is anything that can write its report.
@@ -143,16 +149,19 @@ func registryList() []Experiment {
 		entry("fig6b", Fig6b, func(r *Fig6bResult) []plot.Series { return r.Series }),
 		entry("fig7a", infallible(Fig7a), func(r *Fig7aResult) []plot.Series { return r.Series }),
 		entry("fig7b", Fig7b, func(r *Fig7bResult) []plot.Series { return r.Series }),
-		tracedEntry(entry("fig8", Fig8, func(r *Fig8Result) []plot.Series { return r.Series }),
-			func(tr trace.Tracer) error { _, err := fig8(tr); return err }),
+		profiledEntry(tracedEntry(entry("fig8", Fig8, func(r *Fig8Result) []plot.Series { return r.Series }),
+			func(tr trace.Tracer) error { _, err := fig8(tr, nil); return err }),
+			func(p *prof.Profile) error { _, err := fig8(nil, p); return err }),
 		entry("fig9a", Fig9a, func(r *Fig9aResult) []plot.Series { return r.Series }),
-		chaosEntry(tracedEntry(entry("fig9b", Fig9b, func(r *Fig9bResult) []plot.Series { return r.Series }),
+		profiledEntry(chaosEntry(tracedEntry(entry("fig9b", Fig9b, func(r *Fig9bResult) []plot.Series { return r.Series }),
 			func(tr trace.Tracer) error { _, err := fig9b(tr); return err }),
-			func(plan fault.Plan, tr trace.Tracer) error { _, err := fig9bChaos(tr, &plan); return err }),
+			func(plan fault.Plan, tr trace.Tracer) error { _, err := fig9bChaos(tr, &plan, nil); return err }),
+			func(p *prof.Profile) error { _, err := fig9bChaos(nil, nil, p); return err }),
 		entry("fig11a", infallible(Fig11a), func(r *Fig11aResult) []plot.Series { return r.Series }),
-		chaosEntry(tracedEntry(entry("fig11b", Fig11b, func(r *Fig11bResult) []plot.Series { return r.Series }),
+		profiledEntry(chaosEntry(tracedEntry(entry("fig11b", Fig11b, func(r *Fig11bResult) []plot.Series { return r.Series }),
 			func(tr trace.Tracer) error { _, err := fig11b(tr); return err }),
-			func(plan fault.Plan, tr trace.Tracer) error { _, err := fig11bChaos(tr, &plan); return err }),
+			func(plan fault.Plan, tr trace.Tracer) error { _, err := fig11bChaos(tr, &plan, nil); return err }),
+			func(p *prof.Profile) error { _, err := fig11bChaos(nil, nil, p); return err }),
 		// Summary-only experiments (nil Series => ErrNoSeries on export).
 		entry[*HeadlineResult]("headline", infallible(Headline), nil),
 
@@ -162,15 +171,20 @@ func registryList() []Experiment {
 		entry[*ExtCornersResult]("ext-corners", ExtCorners, nil),
 		entry[*ExtDomainsResult]("ext-domains", ExtDomains, nil),
 		entry[*ExtWeatherResult]("ext-weather", ExtWeather, nil),
-		chaosEntry(tracedEntry(entry[*ExtIntermittentResult]("ext-intermittent", ExtIntermittent, nil),
+		profiledEntry(chaosEntry(tracedEntry(entry[*ExtIntermittentResult]("ext-intermittent", ExtIntermittent, nil),
 			func(tr trace.Tracer) error { _, err := extIntermittent(tr); return err }),
-			func(plan fault.Plan, tr trace.Tracer) error { _, err := extIntermittentChaos(tr, &plan); return err }),
+			func(plan fault.Plan, tr trace.Tracer) error {
+				_, err := extIntermittentChaos(tr, &plan, nil)
+				return err
+			}),
+			func(p *prof.Profile) error { _, err := extIntermittentChaos(nil, nil, p); return err }),
 		entry[*ExtFederationResult]("ext-federation", ExtFederation, nil),
 		entry[*ExtShadingResult]("ext-shading", ExtShading, nil),
 		entry[*ExtDutyCycleResult]("ext-dutycycle", ExtDutyCycle, nil),
 		entry[*ExtTemperatureResult]("ext-temperature", ExtTemperature, nil),
-		tracedEntry(entry("ext-fleet", ExtFleet, nil),
-			func(tr trace.Tracer) error { _, err := extFleet(tr); return err }),
+		profiledEntry(tracedEntry(entry("ext-fleet", ExtFleet, nil),
+			func(tr trace.Tracer) error { _, err := extFleet(tr, nil); return err }),
+			func(p *prof.Profile) error { _, err := extFleet(nil, p); return err }),
 	}
 }
 

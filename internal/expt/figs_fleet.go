@@ -8,6 +8,7 @@ package expt
 
 import (
 	"repro/internal/fleet"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -15,16 +16,19 @@ import (
 // to stay fast, large enough to show a mixed population.
 const fleetDemoSpec = "n=32,seed=9,horizon=0.02,epoch=2e-3,step=2e-5"
 
-// extFleet runs the demo fleet, optionally traced (fleet.* events).
-func extFleet(tr trace.Tracer) (*fleet.Report, error) {
+// extFleet runs the demo fleet, optionally traced (fleet.* events) and
+// optionally profiled (one ledger per node under the ext-fleet scope).
+func extFleet(tr trace.Tracer, p *prof.Profile) (*fleet.Report, error) {
 	spec, err := fleet.ParseSpec(fleetDemoSpec)
 	if err != nil {
 		return nil, err
 	}
 	cfg := spec.Config()
 	cfg.Tracer = tr
+	cfg.Profile = p
+	cfg.ProfileScope = "ext-fleet"
 	return fleet.Run(cfg)
 }
 
 // ExtFleet runs the demo fleet for the registry.
-func ExtFleet() (*fleet.Report, error) { return extFleet(nil) }
+func ExtFleet() (*fleet.Report, error) { return extFleet(nil, nil) }

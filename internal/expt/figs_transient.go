@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/plot"
+	"repro/internal/prof"
 	"repro/internal/pv"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -43,11 +44,12 @@ type Fig8Result struct {
 
 // Fig8 steps the light from full sun to overcast and lets the tracker
 // re-estimate the input power from the V1->V2 crossing time.
-func Fig8() (*Fig8Result, error) { return fig8(nil) }
+func Fig8() (*Fig8Result, error) { return fig8(nil, nil) }
 
 // fig8 is Fig8 with an optional event tracer attached to the manager and
-// the tracked run (nil disables tracing at zero cost).
-func fig8(tracer trace.Tracer) (*Fig8Result, error) {
+// the tracked run, and an optional energy profile (nil disables either at
+// zero cost).
+func fig8(tracer trace.Tracer, p *prof.Profile) (*Fig8Result, error) {
 	c := DefaultComponents()
 	sys := core.NewSystem(c.Cell, c.Proc)
 	mgr := core.NewManager(sys, c.SC).WithTracer(tracer)
@@ -71,6 +73,7 @@ func fig8(tracer trace.Tracer) (*Fig8Result, error) {
 
 	tr, err := mgr.RunTracked(core.TrackedRunConfig{
 		Cap:        storage,
+		Ledger:     profLedger(p, "fig8", ""),
 		Irradiance: circuit.StepIrradiance(fig8StartLevel, dimTo, 10e-3),
 		Levels:     []float64{1.0, 0.5, 0.25, 0.1, 0.05},
 		V1:         1.00,
@@ -179,7 +182,7 @@ type VariantOutcome struct {
 // the variant, so multi-variant figures keep their runs distinguishable.
 // irr overrides the scenario's light profile (nil selects the standard
 // dimming ramp) — the chaos layer uses it to superimpose brownout windows.
-func runVariant(name string, sprint float64, bypass bool, traceEvery int, tracer trace.Tracer, irr func(float64) float64) (VariantOutcome, error) {
+func runVariant(name string, sprint float64, bypass bool, traceEvery int, tracer trace.Tracer, irr func(float64) float64, led *prof.Ledger) (VariantOutcome, error) {
 	c := DefaultComponents()
 	sys := core.NewSystem(c.Cell, c.Proc)
 	mgr := core.NewManager(sys, c.Buck) // the test chip integrates the buck
@@ -208,6 +211,7 @@ func runVariant(name string, sprint float64, bypass bool, traceEvery int, tracer
 		StopOnDropout:  !bypass,
 		Tracer:         tracer,
 		TraceTrack:     name,
+		Ledger:         led,
 	})
 	if err != nil {
 		return VariantOutcome{}, fmt.Errorf("run %s: %w", name, err)
@@ -265,13 +269,13 @@ func Fig9b() (*Fig9bResult, error) { return fig9b(nil) }
 
 // fig9b is Fig9b with an optional event tracer; each variant records onto
 // its own track.
-func fig9b(tracer trace.Tracer) (*Fig9bResult, error) { return fig9bChaos(tracer, nil) }
+func fig9b(tracer trace.Tracer) (*Fig9bResult, error) { return fig9bChaos(tracer, nil, nil) }
 
 // fig9bChaos is fig9b under an optional fault plan (nil runs the benign
 // scenario): each variant's dimming ramp is darkened by the plan's brownout
 // windows, resolved on the variant's own deterministic stream and recorded
 // as fault.* events on the variant's track.
-func fig9bChaos(tracer trace.Tracer, plan *fault.Plan) (*Fig9bResult, error) {
+func fig9bChaos(tracer trace.Tracer, plan *fault.Plan, p *prof.Profile) (*Fig9bResult, error) {
 	irr := func(variant string) func(float64) float64 {
 		if plan == nil {
 			return nil
@@ -280,19 +284,19 @@ func fig9bChaos(tracer trace.Tracer, plan *fault.Plan) (*Fig9bResult, error) {
 		b.Emit(tracer, variant, plan.Seed)
 		return b.Wrap(circuit.RampIrradiance(demoStartLevel, demoDimLevel, demoDimStart, demoDimEnd))
 	}
-	baseline, err := runVariant("constant", 0, false, fig9bTraceEvery, tracer, irr("constant"))
+	baseline, err := runVariant("constant", 0, false, fig9bTraceEvery, tracer, irr("constant"), profLedger(p, "fig9b", "constant"))
 	if err != nil {
 		return nil, err
 	}
-	sprintOnly, err := runVariant("sprint", demoSprint, false, fig9bTraceEvery, tracer, irr("sprint"))
+	sprintOnly, err := runVariant("sprint", demoSprint, false, fig9bTraceEvery, tracer, irr("sprint"), profLedger(p, "fig9b", "sprint"))
 	if err != nil {
 		return nil, err
 	}
-	bypassOnly, err := runVariant("bypass", 0, true, fig9bTraceEvery, tracer, irr("bypass"))
+	bypassOnly, err := runVariant("bypass", 0, true, fig9bTraceEvery, tracer, irr("bypass"), profLedger(p, "fig9b", "bypass"))
 	if err != nil {
 		return nil, err
 	}
-	proposed, err := runVariant("sprint+bypass", demoSprint, true, fig9bTraceEvery, tracer, irr("sprint+bypass"))
+	proposed, err := runVariant("sprint+bypass", demoSprint, true, fig9bTraceEvery, tracer, irr("sprint+bypass"), profLedger(p, "fig9b", "sprint+bypass"))
 	if err != nil {
 		return nil, err
 	}
@@ -360,10 +364,10 @@ func Fig11b() (*Fig11bResult, error) { return fig11b(nil) }
 
 // fig11b is Fig11b with an optional event tracer; each policy records onto
 // its own track.
-func fig11b(tracer trace.Tracer) (*Fig11bResult, error) { return fig11bChaos(tracer, nil) }
+func fig11b(tracer trace.Tracer) (*Fig11bResult, error) { return fig11bChaos(tracer, nil, nil) }
 
 // fig11bChaos is fig11b under an optional fault plan, as fig9bChaos.
-func fig11bChaos(tracer trace.Tracer, plan *fault.Plan) (*Fig11bResult, error) {
+func fig11bChaos(tracer trace.Tracer, plan *fault.Plan, p *prof.Profile) (*Fig11bResult, error) {
 	irr := func(variant string) func(float64) float64 {
 		if plan == nil {
 			return nil
@@ -372,11 +376,11 @@ func fig11bChaos(tracer trace.Tracer, plan *fault.Plan) (*Fig11bResult, error) {
 		b.Emit(tracer, variant, plan.Seed)
 		return b.Wrap(circuit.RampIrradiance(demoStartLevel, demoDimLevel, demoDimStart, demoDimEnd))
 	}
-	baseline, err := runVariant("w/o sprinting", 0, false, 100, tracer, irr("w/o sprinting"))
+	baseline, err := runVariant("w/o sprinting", 0, false, 100, tracer, irr("w/o sprinting"), profLedger(p, "fig11b", "w/o sprinting"))
 	if err != nil {
 		return nil, err
 	}
-	proposed, err := runVariant("w/ sprinting+bypass", demoSprint, true, 100, tracer, irr("w/ sprinting+bypass"))
+	proposed, err := runVariant("w/ sprinting+bypass", demoSprint, true, 100, tracer, irr("w/ sprinting+bypass"), profLedger(p, "fig11b", "w/ sprinting+bypass"))
 	if err != nil {
 		return nil, err
 	}

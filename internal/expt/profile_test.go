@@ -1,0 +1,143 @@
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/prof"
+)
+
+func TestProfiledIDs(t *testing.T) {
+	want := []string{"ext-fleet", "ext-intermittent", "fig11b", "fig8", "fig9b"}
+	if got := ProfiledIDs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ProfiledIDs = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyProfileErrors(t *testing.T) {
+	if _, err := EnergyProfile("fig2"); !errors.Is(err, ErrNoProfile) {
+		t.Errorf("fig2 profile error = %v, want ErrNoProfile", err)
+	}
+	if _, err := EnergyProfile("nope"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown profile error = %v, want ErrUnknown", err)
+	}
+}
+
+// TestRenderProfileDeterministic: profiled re-runs are pure functions of
+// the experiment ID, so the exported pprof bytes are too.
+func TestRenderProfileDeterministic(t *testing.T) {
+	a, err := RenderProfile("fig11b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RenderProfile("fig11b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two renders of the same profile differ")
+	}
+}
+
+// TestProfileReconciliation is the acceptance contract: decoded
+// sim_seconds totals match the simulated horizon and energy_joules totals
+// reconcile with the run's own energy accounting.
+func TestProfileReconciliation(t *testing.T) {
+	// fig8 runs its tracked simulation to a fixed 60 ms horizon; the
+	// decoded sim_seconds total must land there within the ns quantisation.
+	body, err := RenderProfile("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := prof.ReadPprof(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SampleTypes[0].Type != "sim_seconds" || d.SampleTypes[1].Type != "energy_joules" {
+		t.Fatalf("sample types = %+v", d.SampleTypes)
+	}
+	const horizon = 60e-3
+	if sec := float64(d.Total(0)) * 1e-9; math.Abs(sec-horizon) > 5e-9 {
+		t.Errorf("decoded sim_seconds = %.12f, want %g", sec, horizon)
+	}
+
+	// fig11b: the profile's flow bins must reconcile with the variant
+	// outcomes the report is built from — harvest bitwise (same per-step
+	// terms, same order), delivered within regrouping tolerance.
+	p := prof.New()
+	res, err := fig11bChaos(nil, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := p.Total()
+	wantHarvest := res.Proposed.EnergyHarvested + res.Baseline.EnergyHarvested
+	if got := total.Joules[prof.BinPVHarvest]; got != wantHarvest {
+		t.Errorf("profile harvest %g != outcomes %g", got, wantHarvest)
+	}
+	var delivered float64
+	for b := prof.Bin(0); b < prof.BinPVHarvest; b++ {
+		delivered += total.Joules[b]
+	}
+	wantDelivered := res.Baseline.EnergyDelivered + res.Proposed.EnergyDelivered
+	if math.Abs(delivered-wantDelivered) > 1e-9*wantDelivered {
+		t.Errorf("profile delivered %g != outcomes %g", delivered, wantDelivered)
+	}
+
+	// The encoded form round-trips those totals within quantisation.
+	var buf bytes.Buffer
+	if err := prof.WritePprof(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	d11, err := prof.ReadPprof(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(d11.Total(1)) * 1e-15; math.Abs(got-total.TotalJoules()) > 1e-9*total.TotalJoules() {
+		t.Errorf("decoded energy %g != ledger total %g", got, total.TotalJoules())
+	}
+}
+
+// TestGoldenExtFleetProfile pins the ext-fleet energy profile bytes.
+// Regenerate with: go test ./internal/expt -run TestGoldenExtFleetProfile -update
+func TestGoldenExtFleetProfile(t *testing.T) {
+	got, err := RenderProfile("ext-fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_ext-fleet.pb.gz")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (refresh with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("ext-fleet profile drifted from golden (%d vs %d bytes)", len(got), len(want))
+	}
+	// The golden must stay a decodable pprof profile with per-node scopes.
+	d, err := prof.ReadPprof(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) == 0 {
+		t.Fatal("golden profile decodes to no samples")
+	}
+	nodes := map[string]bool{}
+	for _, s := range d.Samples {
+		if s.Labels["experiment"] != "ext-fleet" {
+			t.Fatalf("sample labels = %v", s.Labels)
+		}
+		nodes[s.Labels["node"]] = true
+	}
+	if len(nodes) != 32 {
+		t.Errorf("golden profile covers %d nodes, want 32", len(nodes))
+	}
+}

@@ -1,0 +1,79 @@
+// Profiled experiment runners: the registry entries that can re-run with
+// an energy-flow profile attached (internal/prof) and the public export
+// surface (EnergyProfile / RenderProfile). Profiled re-runs are exact, not
+// sampled — every integration step's time and energy lands in a ledger —
+// and deterministic, so equal IDs always export equal pprof bytes.
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/prof"
+)
+
+// ErrNoProfile indicates an experiment with no profiled runner: the
+// analytic figures have no step loop to account. See ProfiledIDs.
+var ErrNoProfile = errors.New("expt: experiment emits no energy profile")
+
+// profiledEntry attaches a profiled runner to a registry entry.
+func profiledEntry(e Experiment, run func(p *prof.Profile) error) Experiment {
+	e.Profile = run
+	return e
+}
+
+// profLedger returns the ledger for (experiment, node) in p, or nil when
+// profiling is off — the nil that keeps the step loop allocation-free.
+func profLedger(p *prof.Profile, experiment, node string) *prof.Ledger {
+	if p == nil {
+		return nil
+	}
+	return p.Ledger(prof.Scope{Experiment: experiment, Node: node})
+}
+
+// ProfiledIDs returns, in stable order, the experiments with profiled
+// runners. Like TracedIDs it is derived from the registry.
+func ProfiledIDs() []string {
+	var ids []string
+	for _, e := range registryList() {
+		if e.Profile != nil {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// EnergyProfile re-runs the experiment with profiling on and returns the
+// populated profile. Unknown IDs return ErrUnknown; unprofiled experiments
+// ErrNoProfile.
+func EnergyProfile(id string) (*prof.Profile, error) {
+	e, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	if e.Profile == nil {
+		return nil, ErrNoProfile
+	}
+	p := prof.New()
+	if err := e.Profile(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RenderProfile re-runs the experiment and returns its energy profile as
+// gzipped pprof protobuf bytes (go tool pprof accepts them directly).
+func RenderProfile(id string) ([]byte, error) {
+	p, err := EnergyProfile(id)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := prof.WritePprof(&buf, p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

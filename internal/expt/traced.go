@@ -16,6 +16,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/intermittent"
+	"repro/internal/prof"
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/trace"
@@ -89,14 +90,14 @@ const extIntermittentMaxTime = 800e-3
 // tracer; each checkpoint policy records onto its own track. It lives here
 // (not figs_ext.go) because that file has a local named `trace`.
 func extIntermittent(tracer trace.Tracer) (*ExtIntermittentResult, error) {
-	return extIntermittentChaos(tracer, nil)
+	return extIntermittentChaos(tracer, nil, nil)
 }
 
 // extIntermittentChaos is extIntermittent under an optional fault plan:
 // brownout windows darken the blinking profile and the plan's NVM section
 // injects torn commit marks and restore bit-rot into each executor. Every
 // policy resolves its faults on its own deterministic stream.
-func extIntermittentChaos(tracer trace.Tracer, plan *fault.Plan) (*ExtIntermittentResult, error) {
+func extIntermittentChaos(tracer trace.Tracer, plan *fault.Plan, p *prof.Profile) (*ExtIntermittentResult, error) {
 	blink := func(t float64) float64 {
 		if math.Mod(t, 6e-3) < 3e-3 {
 			return 1.0
@@ -142,6 +143,7 @@ func extIntermittentChaos(tracer trace.Tracer, plan *fault.Plan) (*ExtIntermitte
 			MaxTime:    extIntermittentMaxTime,
 			Tracer:     tracer,
 			TraceTrack: pol.Name(),
+			Ledger:     profLedger(p, "ext-intermittent", pol.Name()),
 		})
 		if err != nil {
 			return nil, err

@@ -136,7 +136,7 @@ func TestTraceMatchesReportTransitions(t *testing.T) {
 	}
 
 	rec = trace.NewRecorder()
-	f8, err := fig8(rec)
+	f8, err := fig8(rec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -71,6 +72,21 @@ type Config struct {
 	// epoch barrier and returns its error instead of simulating on. Like
 	// Workers and Tracer it is an execution detail, not part of the Spec.
 	Ctx context.Context
+	// OnEpoch, when non-nil, receives each epoch-barrier Snapshot as it is
+	// taken, before the next epoch starts. It is called from the scheduler
+	// goroutine only (never concurrently) and feeds live progress consumers
+	// — the SSE endpoint and the CLI ticker. It must not block for long:
+	// the fleet does not advance while it runs.
+	OnEpoch func(Snapshot)
+	// Profile, when non-nil, collects an exact energy-and-time ledger per
+	// node. Each node's step loop accumulates into a private ledger (one
+	// comparison per step when off), and the scheduler folds the ledgers
+	// into Profile in node-ID order after the run, so the profile bytes are
+	// independent of Workers and Batch like everything else.
+	Profile *prof.Profile
+	// ProfileScope is the experiment label under which node ledgers are
+	// filed in Profile (Scope.Experiment); nodes are labelled node/NNNNNNN.
+	ProfileScope string
 }
 
 // withDefaults returns cfg with zero fields resolved.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/prof"
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/runner"
@@ -40,7 +41,8 @@ type node struct {
 	id   int
 	sim  *circuit.Simulator
 	ctrl *sched.DeadlineController
-	job  float64 // cycle budget, for reporting
+	job  float64      // cycle budget, for reporting
+	led  *prof.Ledger // energy profile ledger, nil unless Config.Profile is set
 }
 
 // nodeStream is the fault.StreamSeed stream label for node id. Zero-padding
@@ -123,6 +125,16 @@ func buildNodes(cfg Config) ([]*node, error) {
 			return nil, err
 		}
 	}
+	// Profiling on: one contiguous ledger slab, one lane per node, so the
+	// per-step accumulation writes sequential memory just like the batch
+	// stepper's state does.
+	var leds []prof.Ledger
+	if cfg.Profile != nil {
+		leds = make([]prof.Ledger, cfg.Nodes)
+		for i := range cfgs {
+			cfgs[i].Ledger = &leds[i]
+		}
+	}
 	batch, err := circuit.NewBatch(cfgs)
 	if err != nil {
 		var le *circuit.LaneError
@@ -134,6 +146,9 @@ func buildNodes(cfg Config) ([]*node, error) {
 	nodes := make([]*node, cfg.Nodes)
 	for i := range nodes {
 		nodes[i] = &node{id: i, sim: batch.Lane(i), ctrl: ctrls[i], job: ctrls[i].Cycles}
+		if leds != nil {
+			nodes[i].led = &leds[i]
+		}
 	}
 	return nodes, nil
 }

@@ -5,8 +5,20 @@ import (
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/trace"
+)
+
+// Process-wide counters on the shared default registry: hemserved's
+// Prometheus scrape surfaces fleet activity (runs started, epoch barriers
+// crossed) without the fleet package knowing about HTTP.
+var (
+	fleetRuns = metrics.Default().Counter("fleet_runs_total",
+		"Fleet runs started by any caller in the process.")
+	fleetEpochs = metrics.Default().Counter("fleet_epochs_total",
+		"Fleet epoch barriers crossed across all runs.")
 )
 
 // retiredAgg carries the frozen contribution of every node that has left
@@ -41,6 +53,7 @@ type retiredAgg struct {
 // retired totals, so an epoch costs only its still-running population.
 func schedule(cfg Config, nodes []*node) (*Report, error) {
 	rep := &Report{Spec: cfg.Spec(), Hist: newHistogram(cfg.Horizon)}
+	fleetRuns.Inc()
 
 	if trace.On(cfg.Tracer) {
 		trace.Begin(cfg.Tracer, "fleet.run", 0, "fleet", trace.Args{
@@ -131,12 +144,16 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 		active = live
 		snap.MeanVcap /= float64(len(nodes))
 		rep.Snapshots = append(rep.Snapshots, snap)
+		fleetEpochs.Inc()
 
 		if trace.On(cfg.Tracer) {
 			trace.Counter(cfg.Tracer, "fleet.epoch", tEdge, "fleet", trace.Args{
 				"active": snap.Active, "completed": snap.Completed,
 				"browned_out": snap.BrownedOut, "harvest_j": snap.Harvested,
 			})
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(snap)
 		}
 	}
 
@@ -157,6 +174,19 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 	}
 	rep.MeanFinalVcap /= float64(len(nodes))
 	rep.Unfinished = len(nodes) - rep.Completed
+
+	// Profile fold, in node-ID order like every other reduction, so the
+	// exported bytes are identical across -j and batch sizes.
+	if cfg.Profile != nil {
+		for _, nd := range nodes {
+			if nd.led == nil || nd.led.Empty() {
+				continue
+			}
+			cfg.Profile.Ledger(prof.Scope{
+				Experiment: cfg.ProfileScope, Node: nodeStream(nd.id),
+			}).Merge(nd.led)
+		}
+	}
 
 	if trace.On(cfg.Tracer) {
 		trace.End(cfg.Tracer, "fleet.run", cfg.Horizon, "fleet", trace.Args{

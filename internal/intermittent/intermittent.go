@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -195,6 +196,22 @@ const (
 	modeHibernating
 )
 
+// profileBin maps the mode to its energy-profile time bin. Hibernation
+// maps to cpu/idle, matching the profiler's gated-clock attribution (the
+// executor commands frequency 0 while hibernating).
+func (m mode) profileBin() prof.Bin {
+	switch m {
+	case modeRestoring:
+		return prof.BinRestore
+	case modeCheckpointing:
+		return prof.BinCheckpoint
+	case modeHibernating:
+		return prof.BinCPUIdle
+	default:
+		return prof.BinCPUActive
+	}
+}
+
 // String names the mode for trace events.
 func (m mode) String() string {
 	switch m {
@@ -283,6 +300,7 @@ func (e *Executor) Init(s *circuit.State) {
 	// A fresh boot has nothing to restore.
 	e.mode = modeWorking
 	e.lastCycles = s.CyclesDone()
+	s.SetProfilePhase(e.mode.profileBin())
 	if s.Tracing() {
 		s.TraceInstant("intermittent.mode", trace.Args{
 			"mode": e.mode.String(), "policy": e.Policy.Name(),
@@ -300,6 +318,7 @@ func (e *Executor) setMode(s *circuit.State, m mode) {
 		return
 	}
 	e.mode = m
+	s.SetProfilePhase(m.profileBin())
 	if s.Tracing() {
 		s.TraceInstant("intermittent.mode", trace.Args{
 			"mode": m.String(), "committed": e.Stats.Committed, "volatile": e.Stats.Volatile,

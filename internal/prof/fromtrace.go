@@ -1,0 +1,173 @@
+package prof
+
+// Trace-derived profiles: FromTrace rebuilds an approximate ledger from an
+// already-recorded JSONL trace (the `hemtrace prof` subcommand), so runs
+// traced before profiling existed — or traced on machines where re-running
+// is expensive — can still be flamegraphed.
+//
+// The reconstruction is inherently coarser than a live ledger. A trace only
+// records *transitions* (sched.mode, intermittent.mode, circuit.halt/
+// resume) inside circuit.run spans, so time is attributed by dwell between
+// those instants, and the only energy figure a span carries is the final
+// harvested_j on its End event (pv/harvest). Per-step delivered/loss/aux
+// flows are not in the trace and stay zero. Fleet tracks contribute energy
+// only: the fleet.run End's harvest_j (or the last fleet.epoch counter for
+// a truncated trace). Exact per-flow numbers come from live profiling
+// (circuit.Config.Ledger).
+
+import "repro/internal/trace"
+
+// trackState is the dwell reconstruction for one trace track.
+type trackState struct {
+	open    bool    // inside a circuit.run span
+	last    float64 // time the current bin started
+	lastT   float64 // latest event time seen (flush point for truncated runs)
+	mode    Bin     // bin declared by the last mode transition
+	halted  bool    // between circuit.halt and circuit.resume
+	led     Ledger
+	harvest float64 // fleet tracks: latest cumulative harvest_j
+	isFleet bool
+}
+
+// bin returns the bin current dwell accrues to.
+func (t *trackState) bin() Bin {
+	if t.halted {
+		return BinDead
+	}
+	return t.mode
+}
+
+// flush attributes dwell up to now, then restarts the clock there.
+func (t *trackState) flush(now float64) {
+	if !t.open {
+		return
+	}
+	if dt := now - t.last; dt > 0 {
+		t.led.Seconds[t.bin()] += dt
+	}
+	t.last = now
+}
+
+// modeBins maps transition-event mode strings to time bins. Missing modes
+// (future producers) leave the current bin unchanged.
+var modeBins = map[string]Bin{
+	"working":       BinCPUActive,
+	"steady":        BinCPUActive,
+	"slow":          BinCPUActive,
+	"sprint":        BinCPUSprint,
+	"hibernating":   BinCPUIdle,
+	"checkpointing": BinCheckpoint,
+	"restoring":     BinRestore,
+}
+
+// argNum reads a numeric trace arg; JSONL decoding yields float64, live
+// recorders may emit native integer types.
+func argNum(a trace.Args, key string) (float64, bool) {
+	switch v := a[key].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	case uint64:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+func argStr(a trace.Args, key string) string {
+	s, _ := a[key].(string)
+	return s
+}
+
+// scopeOf splits a namespaced track ("fig11b/constant") into the profile
+// scope at the first slash; bare tracks become the experiment dimension.
+func scopeOf(track string) Scope {
+	for i := 0; i < len(track); i++ {
+		if track[i] == '/' {
+			return Scope{Experiment: track[:i], Node: track[i+1:]}
+		}
+	}
+	return Scope{Experiment: track}
+}
+
+// FromTrace derives an approximate profile from recorded events. Only the
+// deterministic sim-clock domain is read; wall events are ignored. See the
+// file comment for what "approximate" means.
+func FromTrace(events []trace.Event) *Profile {
+	tracks := map[string]*trackState{}
+	order := []string{} // first-seen order, for a deterministic fold
+	get := func(track string) *trackState {
+		if t, ok := tracks[track]; ok {
+			return t
+		}
+		t := &trackState{mode: BinCPUActive}
+		tracks[track] = t
+		order = append(order, track)
+		return t
+	}
+
+	for _, ev := range events {
+		if ev.Clock != trace.ClockSim {
+			continue
+		}
+		t := get(ev.Track)
+		if ev.Time > t.lastT {
+			t.lastT = ev.Time
+		}
+		switch ev.Kind {
+		case "circuit.run":
+			switch ev.Phase {
+			case trace.PhaseBegin:
+				t.open = true
+				t.last = ev.Time
+				t.mode = BinCPUActive
+				t.halted = false
+			case trace.PhaseEnd:
+				t.flush(ev.Time)
+				t.open = false
+				if h, ok := argNum(ev.Args, "harvested_j"); ok {
+					t.led.Joules[BinPVHarvest] += h
+				}
+			}
+		case "circuit.halt":
+			t.flush(ev.Time)
+			t.halted = true
+		case "circuit.resume":
+			t.flush(ev.Time)
+			t.halted = false
+		case "sched.mode", "intermittent.mode":
+			if b, ok := modeBins[argStr(ev.Args, "mode")]; ok {
+				t.flush(ev.Time)
+				t.mode = b
+			}
+		case "fleet.run":
+			t.isFleet = true
+			if ev.Phase == trace.PhaseEnd {
+				if h, ok := argNum(ev.Args, "harvest_j"); ok {
+					t.harvest = h
+				}
+			}
+		case "fleet.epoch":
+			t.isFleet = true
+			if h, ok := argNum(ev.Args, "harvest_j"); ok {
+				t.harvest = h // cumulative: keep the latest
+			}
+		}
+	}
+
+	p := New()
+	for _, name := range order {
+		t := tracks[name]
+		t.flush(t.lastT) // truncated runs contribute up to their last event
+		if t.isFleet {
+			t.led.Joules[BinPVHarvest] += t.harvest
+		}
+		if t.led.Empty() {
+			continue
+		}
+		p.Add(scopeOf(name), &t.led)
+	}
+	return p
+}

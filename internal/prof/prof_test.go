@@ -1,0 +1,329 @@
+package prof
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// randLedger fills a ledger from the source; values stay in a range where
+// float addition is exact enough for bitwise comparisons of sums of two.
+func randLedger(r *rand.Rand) Ledger {
+	var l Ledger
+	for i := 0; i < NumBins; i++ {
+		l.Seconds[i] = float64(r.Intn(1 << 20))
+		l.Joules[i] = float64(r.Intn(1<<20)) / 1024
+	}
+	return l
+}
+
+// randProfile builds a profile whose scopes are drawn from the tagged pool,
+// so different profiles overlap or not depending on the pool.
+func randProfile(r *rand.Rand, pool []Scope) *Profile {
+	p := New()
+	n := 1 + r.Intn(len(pool))
+	for i := 0; i < n; i++ {
+		l := randLedger(r)
+		p.Add(pool[r.Intn(len(pool))], &l)
+	}
+	return p
+}
+
+func encode(t *testing.T, p *Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, p); err != nil {
+		t.Fatalf("WritePprof: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// disjointPools returns k scope pools with no scope in common, so profile
+// merges across pools are pure set unions (byte-exact algebra).
+func disjointPools(k int) [][]Scope {
+	pools := make([][]Scope, k)
+	for i := range pools {
+		for j := 0; j < 3; j++ {
+			pools[i] = append(pools[i], Scope{
+				Experiment: fmt.Sprintf("exp%d", i),
+				Node:       fmt.Sprintf("node/%07d", j),
+			})
+		}
+	}
+	return pools
+}
+
+// Merging profiles with disjoint scopes is associative down to the encoded
+// bytes: (a+b)+c == a+(b+c). Canonical export order erases merge order.
+func TestMergeAssociativeDisjoint(t *testing.T) {
+	pools := disjointPools(3)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randProfile(r, pools[0])
+		b := randProfile(r, pools[1])
+		c := randProfile(r, pools[2])
+
+		left := New()
+		left.Merge(a)
+		left.Merge(b)
+		left.Merge(c)
+
+		bc := New()
+		bc.Merge(b)
+		bc.Merge(c)
+		right := New()
+		right.Merge(a)
+		right.Merge(bc)
+
+		return bytes.Equal(encode(t, left), encode(t, right))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Merging is commutative down to the encoded bytes — for disjoint scopes
+// trivially, and for overlapping scopes because bin-wise float addition of
+// two ledgers commutes exactly (a+b == b+a in IEEE 754).
+func TestMergeCommutative(t *testing.T) {
+	pools := disjointPools(2)
+	shared := append(append([]Scope{}, pools[0]...), pools[1]...)
+	f := func(seed int64, overlap bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		pa, pb := pools[0], pools[1]
+		if overlap {
+			pa, pb = shared, shared
+		}
+		a := randProfile(r, pa)
+		b := randProfile(r, pb)
+
+		ab := New()
+		ab.Merge(a)
+		ab.Merge(b)
+		ba := New()
+		ba.Merge(b)
+		ba.Merge(a)
+
+		return bytes.Equal(encode(t, ab), encode(t, ba))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Encoding is deterministic: the same profile always produces the same
+// bytes, and insertion order does not leak into the output.
+func TestEncodeDeterministic(t *testing.T) {
+	scopes := disjointPools(2)
+	all := append(append([]Scope{}, scopes[0]...), scopes[1]...)
+	r := rand.New(rand.NewSource(42))
+	ledgers := make([]Ledger, len(all))
+	for i := range ledgers {
+		ledgers[i] = randLedger(r)
+	}
+
+	forward := New()
+	for i, s := range all {
+		forward.Add(s, &ledgers[i])
+	}
+	backward := New()
+	for i := len(all) - 1; i >= 0; i-- {
+		backward.Add(all[i], &ledgers[i])
+	}
+	if !bytes.Equal(encode(t, forward), encode(t, backward)) {
+		t.Fatal("insertion order leaked into encoded bytes")
+	}
+	if !bytes.Equal(encode(t, forward), encode(t, forward)) {
+		t.Fatal("re-encoding the same profile changed the bytes")
+	}
+}
+
+// The wire round-trip preserves sample types, stacks, labels and quantised
+// values.
+func TestPprofRoundTrip(t *testing.T) {
+	p := New()
+	led := p.Ledger(Scope{Experiment: "fig11b", Node: "constant"})
+	led.AddStep(BinCPUActive, 0.125, 0.25)
+	led.AddStep(BinCPUSprint, 0.0625, 0.5)
+	led.AddStep(BinDead, 0.03125, 0)
+	led.AddEnergy(BinPVHarvest, 1.5)
+	led.AddEnergy(BinRegLoss, 0.375)
+	bare := p.Ledger(Scope{Experiment: "solo"})
+	bare.AddStep(BinCPUIdle, 1, 0.0009765625)
+
+	d, err := ReadPprof(bytes.NewReader(encode(t, p)))
+	if err != nil {
+		t.Fatalf("ReadPprof: %v", err)
+	}
+
+	wantTypes := []DecodedValueType{
+		{Type: "sim_seconds", Unit: "nanoseconds"},
+		{Type: "energy_joules", Unit: "femtojoules"},
+	}
+	if len(d.SampleTypes) != len(wantTypes) {
+		t.Fatalf("sample types = %v, want %v", d.SampleTypes, wantTypes)
+	}
+	for i, vt := range wantTypes {
+		if d.SampleTypes[i] != vt {
+			t.Fatalf("sample type %d = %v, want %v", i, d.SampleTypes[i], vt)
+		}
+	}
+
+	// One sample per non-empty bin: 5 scoped + 1 bare.
+	if len(d.Samples) != 6 {
+		t.Fatalf("samples = %d, want 6", len(d.Samples))
+	}
+
+	find := func(labels map[string]string, leaf string) *DecodedSample {
+		for i := range d.Samples {
+			s := &d.Samples[i]
+			if len(s.Stack) == 0 || s.Stack[0] != leaf {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match && len(s.Labels) == len(labels) {
+				return s
+			}
+		}
+		return nil
+	}
+
+	sprint := find(map[string]string{"experiment": "fig11b", "node": "constant"}, "sprint")
+	if sprint == nil {
+		t.Fatal("missing cpu/sprint sample for fig11b/constant")
+	}
+	wantStack := []string{"sprint", "cpu", "constant", "fig11b"}
+	if len(sprint.Stack) != len(wantStack) {
+		t.Fatalf("sprint stack = %v, want %v", sprint.Stack, wantStack)
+	}
+	for i, f := range wantStack {
+		if sprint.Stack[i] != f {
+			t.Fatalf("sprint stack = %v, want %v", sprint.Stack, wantStack)
+		}
+	}
+	if sprint.Values[0] != 62500000 || sprint.Values[1] != 500000000000000 {
+		t.Fatalf("sprint values = %v, want [62500000 500000000000000]", sprint.Values)
+	}
+
+	harvest := find(map[string]string{"experiment": "fig11b", "node": "constant"}, "harvest")
+	if harvest == nil {
+		t.Fatal("missing pv/harvest sample")
+	}
+	if harvest.Values[0] != 0 || harvest.Values[1] != 1500000000000000 {
+		t.Fatalf("harvest values = %v", harvest.Values)
+	}
+
+	idle := find(map[string]string{"experiment": "solo"}, "idle")
+	if idle == nil {
+		t.Fatal("missing bare-scope cpu/idle sample")
+	}
+	if len(idle.Stack) != 3 || idle.Stack[2] != "solo" {
+		t.Fatalf("bare scope stack = %v, want [idle cpu solo]", idle.Stack)
+	}
+
+	// Totals: decoded nanoseconds must reconcile with the float ledger.
+	total := p.Total()
+	totalSec := total.TotalSeconds()
+	if got, want := d.Total(0), int64(math.Round(totalSec/secondsPerUnit)); got != want {
+		t.Fatalf("decoded seconds total = %d ns, want %d", got, want)
+	}
+	if d.DurationNanos != int64(math.Round(totalSec/secondsPerUnit)) {
+		t.Fatalf("duration = %d ns, want %d", d.DurationNanos, int64(math.Round(totalSec/secondsPerUnit)))
+	}
+}
+
+// Sub-quantum residue (both values rounding to 0) is dropped, not emitted
+// as empty samples.
+func TestTinyBinsDropped(t *testing.T) {
+	p := New()
+	p.Ledger(Scope{Experiment: "x"}).AddStep(BinCPUActive, 1e-13, 1e-17)
+	d, err := ReadPprof(bytes.NewReader(encode(t, p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 0 {
+		t.Fatalf("samples = %d, want 0 for sub-quantum ledger", len(d.Samples))
+	}
+}
+
+func TestLedgerBasics(t *testing.T) {
+	var l Ledger
+	if !l.Empty() {
+		t.Fatal("zero ledger not Empty")
+	}
+	l.AddStep(BinCPUActive, 2, 3)
+	l.AddEnergy(BinRadioTx, 1)
+	if l.Empty() {
+		t.Fatal("non-zero ledger reported Empty")
+	}
+	if got := l.TotalSeconds(); got != 2 {
+		t.Fatalf("TotalSeconds = %v, want 2", got)
+	}
+	if got := l.TotalJoules(); got != 4 {
+		t.Fatalf("TotalJoules = %v, want 4", got)
+	}
+	var o Ledger
+	o.AddStep(BinCPUActive, 1, 1)
+	l.Merge(&o)
+	if got := l.Seconds[BinCPUActive]; got != 3 {
+		t.Fatalf("merged seconds = %v, want 3", got)
+	}
+	if BinCPUSprint.String() != "cpu/sprint" {
+		t.Fatalf("Bin.String = %q", BinCPUSprint.String())
+	}
+	for b := 0; b < NumBins; b++ {
+		if Bin(b).Component() == "" || Bin(b).State() == "" {
+			t.Fatalf("bin %d missing path", b)
+		}
+	}
+}
+
+// FromTrace reconstructs dwell between mode transitions and halt windows,
+// and picks up the span's final harvested energy.
+func TestFromTrace(t *testing.T) {
+	evs := []trace.Event{
+		{Clock: trace.ClockSim, Time: 0, Kind: "circuit.run", Phase: trace.PhaseBegin, Track: "fig8/constant"},
+		{Clock: trace.ClockSim, Time: 0.2, Kind: "sched.mode", Phase: trace.PhaseInstant, Track: "fig8/constant", Args: trace.Args{"mode": "sprint"}},
+		{Clock: trace.ClockSim, Time: 0.3, Kind: "circuit.halt", Phase: trace.PhaseInstant, Track: "fig8/constant"},
+		{Clock: trace.ClockSim, Time: 0.5, Kind: "circuit.resume", Phase: trace.PhaseInstant, Track: "fig8/constant"},
+		{Clock: trace.ClockSim, Time: 1.0, Kind: "circuit.run", Phase: trace.PhaseEnd, Track: "fig8/constant", Args: trace.Args{"harvested_j": 0.75}},
+		// Wall-clock noise must be ignored.
+		{Clock: trace.ClockWall, Time: 99, Kind: "runner.job", Phase: trace.PhaseInstant, Track: "fig8/constant"},
+		// A fleet track contributes its cumulative harvest only.
+		{Clock: trace.ClockSim, Time: 0.01, Kind: "fleet.epoch", Phase: trace.PhaseCounter, Track: "fleet", Args: trace.Args{"harvest_j": 0.25}},
+		{Clock: trace.ClockSim, Time: 0.02, Kind: "fleet.epoch", Phase: trace.PhaseCounter, Track: "fleet", Args: trace.Args{"harvest_j": 0.5}},
+	}
+	p := FromTrace(evs)
+	if p.Len() != 2 {
+		t.Fatalf("scopes = %d, want 2", p.Len())
+	}
+
+	led := p.Ledger(Scope{Experiment: "fig8", Node: "constant"})
+	const eps = 1e-12
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > eps {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("active", led.Seconds[BinCPUActive], 0.2)
+	check("sprint", led.Seconds[BinCPUSprint], 0.1+0.5)
+	check("dead", led.Seconds[BinDead], 0.2)
+	check("harvest", led.Joules[BinPVHarvest], 0.75)
+
+	fl := p.Ledger(Scope{Experiment: "fleet"})
+	check("fleet harvest", fl.Joules[BinPVHarvest], 0.5)
+	if got := fl.TotalSeconds(); got != 0 {
+		t.Fatalf("fleet track seconds = %v, want 0", got)
+	}
+}

@@ -17,7 +17,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
+
+// jobsTotal counts jobs executed by any pool in the process, on the
+// shared default registry so hemserved's scrape surfaces it.
+var jobsTotal = metrics.Default().Counter("runner_jobs_total",
+	"Jobs executed by runner worker pools (skipped jobs excluded).")
 
 // Job is one unit of work: an identifier plus a function that renders its
 // report into w.
@@ -185,6 +192,7 @@ func pool(jobs []Job, workers int, results []Result, stop *atomic.Bool) []chan s
 				start := time.Now()
 				var buf bytes.Buffer
 				err := jobs[i].Run(&buf)
+				jobsTotal.Inc()
 				results[i] = Result{
 					ID:      jobs[i].ID,
 					Output:  buf.Bytes(),

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/cpu"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -65,6 +66,7 @@ func (dc *DeadlineController) Init(s *circuit.State) {
 	dc.sprinting = false
 	dc.missReported = false
 	s.SetBypass(false)
+	s.SetProfilePhase(prof.BinCPUActive)
 	if s.Tracing() {
 		mode := "steady"
 		if dc.Sprint > 0 {
@@ -124,6 +126,7 @@ func (dc *DeadlineController) command(s *circuit.State) {
 	// (Sec. VI.B slow-then-sprint schedule).
 	if dc.Sprint > 0 && !dc.sprinting && t >= dc.Deadline/2 {
 		dc.sprinting = true
+		s.SetProfilePhase(prof.BinCPUSprint)
 		if s.Tracing() {
 			s.TraceInstant("sched.mode", trace.Args{
 				"mode": "sprint", "rate_hz": dc.profileRate(t),

@@ -61,7 +61,7 @@ func TestChaosInjectedFailure(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("error_prob=1: status %d, want 503", resp.StatusCode)
 	}
-	if got := s.metrics.chaosFailures.Load(); got != 1 {
+	if got := s.metrics.chaosFailures.Value(); got != 1 {
 		t.Errorf("chaosFailures = %d, want 1", got)
 	}
 	// Without the header the same server serves normally.
@@ -114,7 +114,7 @@ func TestChaosRenderFaultAndBatchRetry(t *testing.T) {
 	if len(out.Results) != 1 || out.Results[0].Error == "" {
 		t.Fatalf("batch under render faults: %+v, want injected error", out.Results)
 	}
-	if got := s.metrics.renderRetries.Load(); got != renderRetries-1 {
+	if got := s.metrics.renderRetries.Value(); got != renderRetries-1 {
 		t.Errorf("renderRetries = %d, want %d", got, renderRetries-1)
 	}
 }
@@ -175,7 +175,7 @@ func TestChaosBatchRetrySucceedsOnTransientFault(t *testing.T) {
 	if len(out.Results) != 1 || out.Results[0].Error != "" || out.Results[0].Report == "" {
 		t.Fatalf("batch retry did not recover: %+v", out.Results)
 	}
-	if got := s.metrics.renderRetries.Load(); got == 0 {
+	if got := s.metrics.renderRetries.Value(); got == 0 {
 		t.Error("recovery without any retry recorded")
 	}
 }
@@ -236,7 +236,7 @@ func TestStaleServedWhenSaturated(t *testing.T) {
 	if w := resp.Header.Get("Warning"); !strings.Contains(w, "110") {
 		t.Errorf("stale response missing Warning 110 header: %q", w)
 	}
-	if got := s.metrics.staleServed.Load(); got != 1 {
+	if got := s.metrics.staleServed.Value(); got != 1 {
 		t.Errorf("staleServed = %d, want 1", got)
 	}
 }

@@ -1,0 +1,79 @@
+package serve
+
+// Live fleet progress over Server-Sent Events. GET /api/v1/fleet/{spec}/live
+// runs the fleet inside the caller's gate slot and streams one `epoch` event
+// per barrier snapshot as the run advances, then a final `report` event with
+// the full fleet report. Unlike the report endpoint the run is not cached —
+// the point is watching it happen — but it passes the same spec bounds and
+// the same gate, and the request context cancels it at the next barrier.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/fleet"
+)
+
+// handleFleetLive streams epoch snapshots as text/event-stream.
+func (s *Server) handleFleetLive(w http.ResponseWriter, r *http.Request) {
+	spec, ok := parseFleetSpec(w, r)
+	if !ok {
+		return
+	}
+	if err := renderFault(r.Context()); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+
+	// Emit one SSE frame. Events before the first write can still fall back
+	// to a plain HTTP error; after it the stream is committed.
+	streaming := false
+	emit := func(event string, v any) {
+		body, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		if !streaming {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+			w.WriteHeader(http.StatusOK)
+			streaming = true
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, body)
+		flusher.Flush()
+	}
+
+	err := s.gate.DoHeld(r.Context(), gateHold(r.Context()), func() error {
+		cfg := spec.Config()
+		cfg.Workers = 1
+		cfg.Ctx = r.Context()
+		// OnEpoch runs on the scheduler's own call stack between barriers,
+		// so writing the response here is single-threaded by construction.
+		cfg.OnEpoch = func(snap fleet.Snapshot) { emit("epoch", snap) }
+		rep, runErr := fleet.Run(cfg)
+		if runErr != nil {
+			return runErr
+		}
+		emit("report", rep)
+		return nil
+	})
+	if err != nil {
+		if streaming {
+			// Headers are gone; report the failure in-band and end the
+			// stream so clients can distinguish error from completion.
+			emit("error", map[string]string{"error": err.Error()})
+			return
+		}
+		if r.Context().Err() != nil {
+			httpError(w, http.StatusServiceUnavailable, "server saturated: "+err.Error())
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}

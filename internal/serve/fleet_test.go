@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
@@ -118,7 +120,105 @@ func TestStaleStoreBoundedUnderKeyPressure(t *testing.T) {
 	if w := resp.Header.Get("Warning"); !strings.Contains(w, "110") {
 		t.Errorf("degraded fleet response missing Warning 110: %q", w)
 	}
-	if got := s.metrics.staleServed.Load(); got != 1 {
+	if got := s.metrics.staleServed.Value(); got != 1 {
 		t.Errorf("staleServed = %d, want 1", got)
+	}
+}
+
+// TestFleetLiveSSE: the live endpoint streams one epoch event per barrier
+// snapshot as text/event-stream, then a final report event whose JSON
+// matches the plain report endpoint's run.
+func TestFleetLiveSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := tinyFleetSpec(7)
+	resp, err := http.Get(ts.URL + "/api/v1/fleet/" + spec + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live fleet: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	var epochs []json.RawMessage
+	var report json.RawMessage
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := json.RawMessage(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "epoch":
+				epochs = append(epochs, data)
+			case "report":
+				report = data
+			case "error":
+				t.Fatalf("stream reported error: %s", data)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// horizon=0.002 at epoch=1e-3 gives exactly 2 barriers.
+	if len(epochs) != 2 {
+		t.Errorf("got %d epoch events, want 2", len(epochs))
+	}
+	if report == nil {
+		t.Fatal("no final report event")
+	}
+	var rep struct {
+		Snapshots []json.RawMessage `json:"snapshots"`
+	}
+	if err := json.Unmarshal(report, &rep); err != nil {
+		t.Fatalf("report event is not JSON: %v", err)
+	}
+	if len(rep.Snapshots) != len(epochs) {
+		t.Errorf("report has %d snapshots, stream emitted %d", len(rep.Snapshots), len(epochs))
+	}
+	for i, snap := range rep.Snapshots {
+		if string(snap) != string(epochs[i]) {
+			t.Errorf("epoch %d: streamed %s, report holds %s", i, epochs[i], snap)
+		}
+	}
+
+	// The bounds are shared with the report endpoint.
+	if code, _ := get(t, ts.URL+"/api/v1/fleet/n=9999999/live"); code != http.StatusBadRequest {
+		t.Errorf("oversized live spec: status %d, want 400", code)
+	}
+}
+
+// TestFleetLiveCancellation: a client that disconnects mid-stream stops the
+// run at the next epoch barrier instead of simulating to the horizon.
+func TestFleetLiveCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/api/v1/fleet/n=64,seed=3,horizon=0.05,epoch=1e-3,step=2e-5/live", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read one frame to prove the stream started, then hang up.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("stream never started: %v", err)
+	}
+	cancel()
+	// The server sheds the run; the only observable contract here is that
+	// reading now fails rather than delivering the whole horizon.
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Error("stream completed fully despite cancellation")
 	}
 }

@@ -186,6 +186,36 @@ func (s *Server) handleExperimentTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// handleExperimentProfile serves one experiment's energy-flow profile as
+// gzipped pprof protobuf bytes (`go tool pprof` reads the response body
+// directly). Profiled re-runs are deterministic, so responses cache like
+// reports and traces; experiments without a profiled runner map to 422
+// (ErrNoProfile), mirroring the trace contract.
+func (s *Server) handleExperimentProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	key := "profile:" + id
+	body, err := s.reports.get(key, func() (body []byte, err error) {
+		gateErr := s.gate.DoHeld(r.Context(), gateHold(r.Context()), func() error {
+			body, err = expt.RenderProfile(id)
+			return nil
+		})
+		if gateErr != nil {
+			return nil, gateErr
+		}
+		return body, err
+	})
+	if err != nil {
+		stale, ok := s.serveStale(w, r, key, err)
+		if !ok {
+			writeExperimentError(w, r, err)
+			return
+		}
+		body = stale
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(body)
+}
+
 // Fleet request bounds: a spec is attacker-controlled sizing, so the
 // population, the total integration work and the scheduler's epoch count
 // are all capped. The epoch cap matters independently of the step cap: a
@@ -199,6 +229,30 @@ const (
 	maxFleetEpochs = 1e4 // horizon/epoch, scheduler rounds (and snapshots)
 )
 
+// parseFleetSpec parses and bounds the {spec} path value, writing the 400
+// itself on failure. Shared by the report and live (SSE) fleet endpoints so
+// the two cannot drift on what sizing they accept.
+func parseFleetSpec(w http.ResponseWriter, r *http.Request) (fleet.Spec, bool) {
+	spec, err := fleet.ParseSpec(r.PathValue("spec"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return spec, false
+	}
+	if spec.N > maxFleetNodes {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet too large: n=%d (max %d)", spec.N, maxFleetNodes))
+		return spec, false
+	}
+	if work := float64(spec.N) * (spec.Horizon / spec.Step); work > maxFleetSteps {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet spec orders %.3g integration steps (max %.3g); shrink n or horizon, or coarsen step", work, float64(maxFleetSteps)))
+		return spec, false
+	}
+	if epochs := spec.Horizon / spec.Epoch; epochs > maxFleetEpochs {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet spec orders %.3g scheduler epochs (max %.3g); coarsen epoch or shrink horizon", epochs, float64(maxFleetEpochs)))
+		return spec, false
+	}
+	return spec, true
+}
+
 // handleFleet runs a shared-clock node fleet (internal/fleet) and serves
 // its report as JSON. Fleet reports are pure functions of the canonical
 // spec, so responses cache under "fleet:<spec>" exactly like experiment
@@ -206,21 +260,8 @@ const (
 // path. The engine runs single-worker inside the gate slot: one request,
 // one simulation thread, and byte-identical bodies by construction.
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
-	spec, err := fleet.ParseSpec(r.PathValue("spec"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if spec.N > maxFleetNodes {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet too large: n=%d (max %d)", spec.N, maxFleetNodes))
-		return
-	}
-	if work := float64(spec.N) * (spec.Horizon / spec.Step); work > maxFleetSteps {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet spec orders %.3g integration steps (max %.3g); shrink n or horizon, or coarsen step", work, float64(maxFleetSteps)))
-		return
-	}
-	if epochs := spec.Horizon / spec.Epoch; epochs > maxFleetEpochs {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("fleet spec orders %.3g scheduler epochs (max %.3g); coarsen epoch or shrink horizon", epochs, float64(maxFleetEpochs)))
+	spec, ok := parseFleetSpec(w, r)
+	if !ok {
 		return
 	}
 	if err := renderFault(r.Context()); err != nil {
@@ -494,9 +535,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		"resilience": map[string]any{
 			"chaos_enabled":     s.cfg.Chaos,
-			"injected_failures": s.metrics.chaosFailures.Load(),
-			"render_retries":    s.metrics.renderRetries.Load(),
-			"stale_served":      s.metrics.staleServed.Load(),
+			"injected_failures": s.metrics.chaosFailures.Value(),
+			"render_retries":    s.metrics.renderRetries.Value(),
+			"stale_served":      s.metrics.staleServed.Value(),
 			"stale_store_size":  s.reports.staleLen(),
 		},
 		"log_dropped": s.log.droppedLines(),
@@ -513,7 +554,8 @@ func writeExperimentError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, expt.ErrUnknown):
 		httpError(w, http.StatusNotFound, err.Error())
-	case errors.Is(err, expt.ErrNoSeries), errors.Is(err, expt.ErrNoTrace):
+	case errors.Is(err, expt.ErrNoSeries), errors.Is(err, expt.ErrNoTrace),
+		errors.Is(err, expt.ErrNoProfile):
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 	case r.Context().Err() != nil:
 		httpError(w, http.StatusServiceUnavailable, err.Error())

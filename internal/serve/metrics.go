@@ -1,140 +1,116 @@
 package serve
 
-// Observability without external dependencies: expvar-style counters,
-// fixed-bucket latency histograms and gauges, snapshotted as one JSON
-// document on GET /metrics, plus a structured (JSON lines) request log.
-// Everything is updated with atomics or short critical sections so the
-// hot path pays a few nanoseconds, not a lock convoy.
+// Server observability on the shared metrics core (internal/metrics): the
+// per-instance registry carries every hemserved_* family — counters,
+// gauges and the per-route latency histograms — and both GET /metrics
+// (JSON snapshot) and GET /metrics/prometheus (text exposition) render
+// from it, so the two views can never disagree. A structured (JSON lines)
+// request log rides along. Hot-path updates are single atomics inside the
+// metrics package; the JSON snapshot shape is unchanged from the
+// pre-registry implementation.
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
-// latencyBuckets are the histogram upper bounds in milliseconds; the last
-// implicit bucket is +Inf.
-var latencyBuckets = [numBuckets - 1]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+// latencyBuckets are the histogram upper bounds in milliseconds; the
+// exposition adds the implicit +Inf bucket.
+var latencyBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
-// numBuckets counts the finite buckets plus the +Inf overflow bucket.
-const numBuckets = 11
+// serverMetrics aggregates the server's instruments. One registry (and
+// one instance) per Server, so tests can run many servers in a process.
+type serverMetrics struct {
+	start time.Time
+	reg   *metrics.Registry
 
-// histogram is a fixed-bucket latency histogram.
-type histogram struct {
-	counts [numBuckets]atomic.Uint64
-	count  atomic.Uint64
-	sumNS  atomic.Uint64 // total nanoseconds, for mean latency: integer
-	// microsecond accumulation truncated sub-microsecond observations to
-	// zero, deflating the mean on fast cache-hit routes.
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := sort.SearchFloat64s(latencyBuckets[:], ms)
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	if d > 0 {
-		h.sumNS.Add(uint64(d))
-	}
-}
-
-func (h *histogram) snapshot() map[string]any {
-	buckets := make(map[string]uint64, len(latencyBuckets)+1)
-	for i, ub := range latencyBuckets {
-		buckets[fmt.Sprintf("le_%gms", ub)] = h.counts[i].Load()
-	}
-	buckets["le_inf"] = h.counts[len(latencyBuckets)].Load()
-	n := h.count.Load()
-	mean := 0.0
-	if n > 0 {
-		mean = float64(h.sumNS.Load()) / float64(n) / 1e6
-	}
-	return map[string]any{"count": n, "mean_ms": mean, "buckets": buckets}
-}
-
-// metrics aggregates the server's counters. One instance per Server.
-type metrics struct {
-	start    time.Time
-	inFlight atomic.Int64
+	inFlight *metrics.Gauge
+	requests *metrics.CounterVec   // route, class
+	latency  *metrics.HistogramVec // route
 
 	// Resilience counters: injected pre-handler failures (chaos mode),
 	// render retries after transient faults, and degraded-mode stale
 	// responses served under saturation.
-	chaosFailures atomic.Uint64
-	renderRetries atomic.Uint64
-	staleServed   atomic.Uint64
-
-	mu       sync.Mutex
-	requests map[string]*routeStats // route label -> stats
+	chaosFailures *metrics.Counter
+	renderRetries *metrics.Counter
+	staleServed   *metrics.Counter
 }
 
-type routeStats struct {
-	total    atomic.Uint64
-	byStatus [6]atomic.Uint64 // index status/100 (1xx..5xx); 0 unused
-	latency  histogram
+func newMetrics() *serverMetrics {
+	m := &serverMetrics{start: time.Now(), reg: metrics.NewRegistry()}
+	m.reg.GaugeFunc("hemserved_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	m.inFlight = m.reg.Gauge("hemserved_http_in_flight", "Requests currently being served.")
+	m.requests = m.reg.CounterVec("hemserved_http_requests_total",
+		"Requests served, by route and status class.", "route", "class")
+	m.latency = m.reg.HistogramVec("hemserved_http_request_duration_ms",
+		"Request latency, by route (milliseconds).", latencyBuckets, "route")
+	m.chaosFailures = m.reg.Counter("hemserved_chaos_injected_failures_total",
+		"Requests failed by an injected fault plan.")
+	m.renderRetries = m.reg.Counter("hemserved_render_retries_total",
+		"Batch render attempts retried after a transient fault.")
+	m.staleServed = m.reg.Counter("hemserved_stale_served_total",
+		"Degraded-mode responses served from the stale store.")
+	return m
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), requests: make(map[string]*routeStats)}
-}
-
-// route returns (creating on first use) the stats bucket for a label.
-func (m *metrics) route(label string) *routeStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rs, ok := m.requests[label]
-	if !ok {
-		rs = &routeStats{}
-		m.requests[label] = rs
-	}
-	return rs
-}
-
-func (m *metrics) record(label string, status int, d time.Duration) {
-	rs := m.route(label)
-	rs.total.Add(1)
+func (m *serverMetrics) record(label string, status int, d time.Duration) {
 	if c := status / 100; c >= 1 && c <= 5 {
-		rs.byStatus[c].Add(1)
+		m.requests.With(label, fmt.Sprintf("%dxx", c)).Inc()
 	}
-	rs.latency.observe(d)
+	m.latency.With(label).Observe(float64(d) / float64(time.Millisecond))
 }
 
-// snapshot builds the /metrics JSON document. extra carries sections owned
-// by the Server (cache and gate stats).
-func (m *metrics) snapshot(extra map[string]any) map[string]any {
-	m.mu.Lock()
-	labels := make([]string, 0, len(m.requests))
-	for l := range m.requests {
-		labels = append(labels, l)
-	}
-	m.mu.Unlock()
-	sort.Strings(labels)
+// snapshot builds the /metrics JSON document (shape unchanged across the
+// registry migration). extra carries sections owned by the Server (cache
+// and gate stats).
+func (m *serverMetrics) snapshot(extra map[string]any) map[string]any {
+	byStatus := make(map[string]map[string]uint64)
+	m.requests.Each(func(values []string, n uint64) {
+		route, class := values[0], values[1]
+		if byStatus[route] == nil {
+			byStatus[route] = make(map[string]uint64)
+		}
+		byStatus[route][class] = n
+	})
 
-	reqs := make(map[string]any, len(labels))
+	reqs := make(map[string]any)
 	var total uint64
-	for _, l := range labels {
-		rs := m.route(l)
-		status := map[string]uint64{}
-		for c := 1; c <= 5; c++ {
-			if n := rs.byStatus[c].Load(); n > 0 {
-				status[fmt.Sprintf("%dxx", c)] = n
-			}
+	m.latency.Each(func(values []string, h *metrics.Histogram) {
+		route := values[0]
+		counts := h.BucketCounts()
+		buckets := make(map[string]uint64, len(counts))
+		for i, ub := range h.Bounds() {
+			buckets[fmt.Sprintf("le_%gms", ub)] = counts[i]
 		}
-		total += rs.total.Load()
-		reqs[l] = map[string]any{
-			"total":      rs.total.Load(),
+		buckets["le_inf"] = counts[len(counts)-1]
+		n := h.Count()
+		mean := 0.0
+		if n > 0 {
+			mean = h.Sum() / float64(n)
+		}
+		status := byStatus[route]
+		if status == nil {
+			status = map[string]uint64{}
+		}
+		total += n
+		reqs[route] = map[string]any{
+			"total":      n,
 			"by_status":  status,
-			"latency_ms": rs.latency.snapshot(),
+			"latency_ms": map[string]any{"count": n, "mean_ms": mean, "buckets": buckets},
 		}
-	}
+	})
+
 	doc := map[string]any{
 		"uptime_s":       time.Since(m.start).Seconds(),
-		"in_flight":      m.inFlight.Load(),
+		"in_flight":      int64(m.inFlight.Value()),
 		"requests_total": total,
 		"requests":       reqs,
 	}
@@ -187,6 +163,8 @@ func (l *requestLog) droppedLines() uint64 {
 }
 
 // statusWriter captures the response status and size for metrics/logging.
+// It forwards Flush so streaming handlers (the fleet SSE endpoint) work
+// through the instrumentation middleware.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -207,4 +185,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

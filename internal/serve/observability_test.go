@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -169,20 +170,71 @@ func TestLogDroppedCounter(t *testing.T) {
 	}
 }
 
-// TestHistogramSubMicrosecondMean pins the nanosecond-accumulation fix:
-// observations under a microsecond must still contribute to the mean.
+// TestHistogramSubMicrosecondMean pins the sub-microsecond mean fix across
+// the registry migration: observations under a microsecond must still
+// contribute to the reported mean.
 func TestHistogramSubMicrosecondMean(t *testing.T) {
-	var h histogram
+	m := newMetrics()
 	for i := 0; i < 1000; i++ {
-		h.observe(800 * time.Nanosecond)
+		m.record("r", 200, 800*time.Nanosecond)
 	}
-	snap := h.snapshot()
-	mean, ok := snap["mean_ms"].(float64)
+	snap := m.snapshot(nil)
+	route, ok := snap["requests"].(map[string]any)["r"].(map[string]any)
 	if !ok {
-		t.Fatalf("mean_ms missing from snapshot %v", snap)
+		t.Fatalf("route snapshot missing: %v", snap)
+	}
+	mean, ok := route["latency_ms"].(map[string]any)["mean_ms"].(float64)
+	if !ok {
+		t.Fatalf("mean_ms missing from snapshot %v", route)
 	}
 	want := 800e-6 // 800 ns in ms
 	if mean < want*0.99 || mean > want*1.01 {
 		t.Errorf("mean_ms = %g, want ~%g (sub-microsecond observations truncated?)", mean, want)
+	}
+}
+
+// TestExperimentProfileEndpoint: the profile endpoint serves decodable,
+// cacheable pprof bytes matching a direct render, and maps unprofiled or
+// unknown experiments onto the shared status contract.
+func TestExperimentProfileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, cold := get(t, ts.URL+"/api/v1/experiments/fig11b/profile")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, cold)
+	}
+	d, err := prof.ReadPprof(bytes.NewReader(cold))
+	if err != nil {
+		t.Fatalf("body is not a valid pprof profile: %v", err)
+	}
+	if len(d.Samples) == 0 {
+		t.Fatal("profile has no samples")
+	}
+
+	status, cached := get(t, ts.URL+"/api/v1/experiments/fig11b/profile")
+	if status != http.StatusOK {
+		t.Fatalf("cached status %d", status)
+	}
+	if !bytes.Equal(cold, cached) {
+		t.Error("cached profile differs from cold render")
+	}
+	direct, err := expt.RenderProfile("fig11b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cached, direct) {
+		t.Error("served profile differs from direct expt.RenderProfile")
+	}
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/api/v1/experiments/fig2/profile", http.StatusUnprocessableEntity}, // analytic: no step loop
+		{"/api/v1/experiments/nope/profile", http.StatusNotFound},
+	} {
+		if status, body := get(t, ts.URL+tc.path); status != tc.want {
+			t.Errorf("GET %s = %d, want %d: %s", tc.path, status, tc.want, body)
+		}
 	}
 }

@@ -1,96 +1,63 @@
 package serve
 
-// Prometheus text exposition (text/plain; version=0.0.4) of the same
-// counters GET /metrics serves as JSON, so the service scrapes into a
-// standard Prometheus/OpenMetrics pipeline without an adapter. The
-// histogram buckets are exactly latencyBuckets (metrics.go) rendered
-// cumulatively with a trailing +Inf, per the exposition format.
+// Prometheus text exposition of the same counters GET /metrics serves as
+// JSON. The families live in the server's metrics registry
+// (internal/metrics), which writes one # HELP and one # TYPE line per
+// family and series in sorted label order; the scrape also appends the
+// process-wide default registry (runner_jobs_total, fleet_runs_total, ...)
+// so cross-cutting counters are visible without a second endpoint.
 
 import (
-	"fmt"
-	"io"
 	"net/http"
-	"sort"
-	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/pv"
 )
 
 // handleMetricsPrometheus renders the counter snapshot in the Prometheus
-// text exposition format.
+// text exposition format (version 0.0.4).
 func (s *Server) handleMetricsPrometheus(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.writePrometheus(w)
+	w.Header().Set("Content-Type", metrics.ContentType)
+	s.metrics.reg.WriteText(w)
+	metrics.Default().WriteText(w)
 }
 
-// writePrometheus emits every metric family. Label sets are written in
-// sorted route order so consecutive scrapes differ only in values.
-func (s *Server) writePrometheus(w io.Writer) {
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-
-	gauge("hemserved_uptime_seconds", "Seconds since the server started.",
-		time.Since(s.metrics.start).Seconds())
-	gauge("hemserved_http_in_flight", "Requests currently being served.",
-		float64(s.metrics.inFlight.Load()))
-
-	s.metrics.mu.Lock()
-	routes := make([]string, 0, len(s.metrics.requests))
-	for l := range s.metrics.requests {
-		routes = append(routes, l)
-	}
-	s.metrics.mu.Unlock()
-	sort.Strings(routes)
-
-	fmt.Fprintf(w, "# HELP hemserved_http_requests_total Requests served, by route and status class.\n")
-	fmt.Fprintf(w, "# TYPE hemserved_http_requests_total counter\n")
-	for _, route := range routes {
-		rs := s.metrics.route(route)
-		for c := 1; c <= 5; c++ {
-			if n := rs.byStatus[c].Load(); n > 0 {
-				fmt.Fprintf(w, "hemserved_http_requests_total{route=%q,class=\"%dxx\"} %d\n", route, c, n)
-			}
-		}
+// registerServerFuncs adds the scrape-time families that sample state
+// owned by other server components (caches, gate, stale store, access
+// log). Called once from New after those components exist.
+func (s *Server) registerServerFuncs() {
+	reg := s.metrics.reg
+	u64 := func(fn func() uint64) func() float64 {
+		return func() float64 { return float64(fn()) }
 	}
 
-	fmt.Fprintf(w, "# HELP hemserved_http_request_duration_ms Request latency, by route (milliseconds).\n")
-	fmt.Fprintf(w, "# TYPE hemserved_http_request_duration_ms histogram\n")
-	for _, route := range routes {
-		h := &s.metrics.route(route).latency
-		var cum uint64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "hemserved_http_request_duration_ms_bucket{route=%q,le=\"%g\"} %d\n", route, ub, cum)
-		}
-		cum += h.counts[len(latencyBuckets)].Load()
-		fmt.Fprintf(w, "hemserved_http_request_duration_ms_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
-		fmt.Fprintf(w, "hemserved_http_request_duration_ms_sum{route=%q} %g\n", route, float64(h.sumNS.Load())/1e6)
-		fmt.Fprintf(w, "hemserved_http_request_duration_ms_count{route=%q} %d\n", route, h.count.Load())
-	}
+	reg.CounterFunc("hemserved_report_cache_hits_total", "Report cache hits.",
+		u64(s.reports.hits.Load))
+	reg.CounterFunc("hemserved_report_cache_misses_total", "Report cache misses.",
+		u64(s.reports.misses.Load))
+	reg.CounterFunc("hemserved_report_cache_coalesced_total", "Renders shared via singleflight.",
+		u64(s.reports.shared.Load))
+	reg.GaugeFunc("hemserved_report_cache_entries", "Rendered responses currently cached.",
+		func() float64 { return float64(s.reports.lru.len()) })
+	reg.GaugeFunc("hemserved_report_cache_capacity", "Report cache capacity.",
+		func() float64 { return float64(s.cfg.ReportCacheSize) })
 
-	counter("hemserved_report_cache_hits_total", "Report cache hits.", s.reports.hits.Load())
-	counter("hemserved_report_cache_misses_total", "Report cache misses.", s.reports.misses.Load())
-	counter("hemserved_report_cache_coalesced_total", "Renders shared via singleflight.", s.reports.shared.Load())
-	gauge("hemserved_report_cache_entries", "Rendered responses currently cached.", float64(s.reports.lru.len()))
-	gauge("hemserved_report_cache_capacity", "Report cache capacity.", float64(s.cfg.ReportCacheSize))
+	reg.CounterFunc("hemserved_pv_cache_hits_total", "PV solve cache hits.",
+		func() float64 { h, _ := pv.CacheStats(); return float64(h) })
+	reg.CounterFunc("hemserved_pv_cache_misses_total", "PV solve cache misses.",
+		func() float64 { _, m := pv.CacheStats(); return float64(m) })
+	reg.CounterFunc("hemserved_pv_cache_coalesced_total", "PV solves shared via singleflight.",
+		u64(pv.CacheCoalesced))
 
-	pvHits, pvMisses := pv.CacheStats()
-	counter("hemserved_pv_cache_hits_total", "PV solve cache hits.", pvHits)
-	counter("hemserved_pv_cache_misses_total", "PV solve cache misses.", pvMisses)
-	counter("hemserved_pv_cache_coalesced_total", "PV solves shared via singleflight.", pv.CacheCoalesced())
+	reg.GaugeFunc("hemserved_gate_capacity", "Simulation gate capacity.",
+		func() float64 { return float64(s.gate.Cap()) })
+	reg.GaugeFunc("hemserved_gate_in_flight", "Simulations currently running.",
+		func() float64 { return float64(s.gate.InFlight()) })
+	reg.CounterFunc("hemserved_gate_waited_total", "Requests that queued at the gate.",
+		u64(s.gate.Waited))
 
-	gauge("hemserved_gate_capacity", "Simulation gate capacity.", float64(s.gate.Cap()))
-	gauge("hemserved_gate_in_flight", "Simulations currently running.", float64(s.gate.InFlight()))
-	counter("hemserved_gate_waited_total", "Requests that queued at the gate.", s.gate.Waited())
-
-	counter("hemserved_chaos_injected_failures_total", "Requests failed by an injected fault plan.", s.metrics.chaosFailures.Load())
-	counter("hemserved_render_retries_total", "Batch render attempts retried after a transient fault.", s.metrics.renderRetries.Load())
-	counter("hemserved_stale_served_total", "Degraded-mode responses served from the stale store.", s.metrics.staleServed.Load())
-	gauge("hemserved_stale_store_entries", "Last-known-good renders held for degraded mode.", float64(s.reports.staleLen()))
-
-	counter("hemserved_log_dropped_total", "Access-log lines lost to write or marshal failures.", s.log.droppedLines())
+	reg.GaugeFunc("hemserved_stale_store_entries", "Last-known-good renders held for degraded mode.",
+		func() float64 { return float64(s.reports.staleLen()) })
+	reg.CounterFunc("hemserved_log_dropped_total", "Access-log lines lost to write or marshal failures.",
+		u64(s.log.droppedLines))
 }

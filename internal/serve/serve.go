@@ -71,7 +71,7 @@ type Server struct {
 	mux       *http.ServeMux
 	gate      *runner.Gate
 	reports   *renderCache
-	metrics   *metrics
+	metrics   *serverMetrics
 	log       *requestLog
 	chaosInjs chaosTable
 
@@ -107,6 +107,7 @@ func New(cfg Config) *Server {
 		proc:    proc,
 		table:   mgr.BuildTrackingTable(DefaultMPPTLevels),
 	}
+	s.registerServerFuncs()
 	s.routes()
 	return s
 }
@@ -119,8 +120,10 @@ func (s *Server) routes() {
 	handle("GET /api/v1/experiments", "experiments_list", s.handleExperimentsList)
 	handle("GET /api/v1/experiments/{id}", "experiment_get", s.handleExperimentGet)
 	handle("GET /api/v1/experiments/{id}/trace", "experiment_trace", s.handleExperimentTrace)
+	handle("GET /api/v1/experiments/{id}/profile", "experiment_profile", s.handleExperimentProfile)
 	handle("POST /api/v1/experiments/batch", "experiments_batch", s.handleExperimentsBatch)
 	handle("GET /api/v1/fleet/{spec}", "fleet_get", s.handleFleet)
+	handle("GET /api/v1/fleet/{spec}/live", "fleet_live", s.handleFleetLive)
 	handle("POST /api/v1/pv/solve", "pv_solve", s.handlePVSolve)
 	handle("POST /api/v1/mppt/plan", "mppt_plan", s.handleMPPTPlan)
 	handle("GET /metrics", "metrics", s.handleMetrics)

@@ -1,10 +1,12 @@
 package trace
 
 // Trace summarisation: the aggregate view hemtrace prints — event counts
-// per kind, durations of Begin/End spans, and a time-in-mode table derived
+// per kind, durations of Begin/End spans, a time-in-mode table derived
 // from instant mode events (kinds ending in ".mode" with a string "mode"
 // argument: each dwell lasts until the next mode event on the same track,
-// or the track's last event).
+// or the track's last event), and a counter table giving each sampled
+// series (phase "C" — fleet.epoch being the main producer) its sample
+// count, time range and final values.
 
 import (
 	"fmt"
@@ -22,6 +24,19 @@ type SpanStat struct {
 	LongestS float64
 }
 
+// CounterStat aggregates the sampled counter events of one (kind, track):
+// how many samples landed, over what sim-time range, and the final sampled
+// values (numeric args only). For cumulative counters like fleet.epoch's
+// harvest_j the final value is the run total.
+type CounterStat struct {
+	Kind    string
+	Track   string
+	Samples int
+	FirstS  float64
+	LastS   float64
+	Last    map[string]float64
+}
+
 // ModeDwell is one row of the time-in-mode table.
 type ModeDwell struct {
 	Track  string
@@ -32,11 +47,12 @@ type ModeDwell struct {
 
 // Summary is the aggregate view of one trace.
 type Summary struct {
-	Events  int
-	ByKind  map[string]int
-	ByClock map[Clock]int
-	Spans   []SpanStat  // sorted by kind, then track
-	Modes   []ModeDwell // sorted by track, then mode
+	Events   int
+	ByKind   map[string]int
+	ByClock  map[Clock]int
+	Spans    []SpanStat    // sorted by kind, then track
+	Counters []CounterStat // sorted by kind, then track
+	Modes    []ModeDwell   // sorted by track, then mode
 	// SimEnd is the latest sim-clock timestamp, the horizon used to close
 	// the final mode dwell of each track.
 	SimEnd float64
@@ -49,6 +65,7 @@ func Summarize(events []Event) *Summary {
 	open := map[spanKey][]float64{} // stack of begin times
 	stats := map[spanKey]*SpanStat{}
 
+	counters := map[spanKey]*CounterStat{}
 	dwell := map[modeKey]*ModeDwell{}
 	lastMode := map[string]*Event{} // track -> pending mode event
 	trackEnd := map[string]float64{}
@@ -90,6 +107,19 @@ func Summarize(events []Event) *Summary {
 					st.LongestS = d
 				}
 			}
+		case PhaseCounter:
+			c := counters[key]
+			if c == nil {
+				c = &CounterStat{Kind: ev.Kind, Track: ev.Track, FirstS: ev.Time, Last: map[string]float64{}}
+				counters[key] = c
+			}
+			c.Samples++
+			c.LastS = ev.Time
+			for name := range ev.Args {
+				if v, ok := numArg(ev.Args[name]); ok {
+					c.Last[name] = v
+				}
+			}
 		case PhaseInstant:
 			if mode, ok := ev.Args["mode"].(string); ok && ev.Clock == ClockSim {
 				if prev := lastMode[ev.Track]; prev != nil {
@@ -119,6 +149,15 @@ func Summarize(events []Event) *Summary {
 		}
 		return s.Spans[i].Track < s.Spans[j].Track
 	})
+	for _, c := range counters {
+		s.Counters = append(s.Counters, *c)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Kind != s.Counters[j].Kind {
+			return s.Counters[i].Kind < s.Counters[j].Kind
+		}
+		return s.Counters[i].Track < s.Counters[j].Track
+	})
 	for _, d := range dwell {
 		s.Modes = append(s.Modes, *d)
 	}
@@ -129,6 +168,22 @@ func Summarize(events []Event) *Summary {
 		return s.Modes[i].Mode < s.Modes[j].Mode
 	})
 	return s
+}
+
+// numArg widens a trace arg to float64; JSONL decoding yields float64,
+// live recorders emit native numeric types.
+func numArg(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	}
+	return 0, false
 }
 
 // modeKey indexes the time-in-mode accumulation.
@@ -175,6 +230,27 @@ func (s *Summary) Write(w io.Writer) error {
 				sp.Kind, track, sp.Count, sp.TotalS, sp.LongestS)
 			if sp.Open > 0 {
 				fmt.Fprintf(w, " (%d unclosed)", sp.Open)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, c := range s.Counters {
+			track := c.Track
+			if track == "" {
+				track = "-"
+			}
+			fmt.Fprintf(w, "  %-28s %-22s n=%-4d over [%.6g, %.6g] s; final:",
+				c.Kind, track, c.Samples, c.FirstS, c.LastS)
+			names := make([]string, 0, len(c.Last))
+			for name := range c.Last {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(w, " %s=%.6g", name, c.Last[name])
 			}
 			fmt.Fprintln(w)
 		}

@@ -201,9 +201,11 @@ func TestSummarize(t *testing.T) {
 	End(r, "mppt.window", 0.014, "run", nil)
 	Instant(r, "mppt.retrack", 0.014, "run", Args{"pin_w": 0.008})
 	Instant(r, "circuit.halt", 0.020, "run", nil)
+	Counter(r, "fleet.epoch", 0.010, "fleet", Args{"active": 7, "harvest_j": 0.5})
+	Counter(r, "fleet.epoch", 0.020, "fleet", Args{"active": 3, "harvest_j": 1.25})
 
 	s := Summarize(r.Events())
-	if s.Events != 8 {
+	if s.Events != 10 {
 		t.Fatalf("Events = %d", s.Events)
 	}
 	if s.ByKind["mppt.window"] != 4 || s.ByKind["sched.mode"] != 2 {
@@ -223,11 +225,26 @@ func TestSummarize(t *testing.T) {
 			t.Errorf("mode %q dwell = %g, want %g", m.Mode, m.TotalS, want[m.Mode])
 		}
 	}
+	// The counter table keeps the last sampled value per arg — cumulative
+	// series read out as run totals.
+	if len(s.Counters) != 1 {
+		t.Fatalf("Counters = %+v", s.Counters)
+	}
+	c := s.Counters[0]
+	if c.Kind != "fleet.epoch" || c.Track != "fleet" || c.Samples != 2 {
+		t.Fatalf("counter stats = %+v", c)
+	}
+	if !approx(c.FirstS, 0.010) || !approx(c.LastS, 0.020) {
+		t.Fatalf("counter time range = [%g, %g]", c.FirstS, c.LastS)
+	}
+	if c.Last["active"] != 3 || c.Last["harvest_j"] != 1.25 {
+		t.Fatalf("counter finals = %v", c.Last)
+	}
 	var buf bytes.Buffer
 	if err := s.Write(&buf); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
-	for _, want := range []string{"by kind:", "spans:", "time in mode:", "mppt.retrack"} {
+	for _, want := range []string{"by kind:", "spans:", "counters:", "time in mode:", "mppt.retrack", "fleet.epoch"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("summary output missing %q:\n%s", want, buf.String())
 		}
