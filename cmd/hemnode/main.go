@@ -14,6 +14,14 @@
 //	        [-cloudiness 0.4] [-cap 100e-6] [-csv trace.csv]
 //	        [-trace events.jsonl] [-profile energy.pb.gz]
 //	        [-campaigns 1] [-j N] [-batch 1]
+//	hemnode -scenario spec.json [-csv trace.csv] [-trace events.jsonl]
+//	        [-profile energy.pb.gz] [-j N]
+//
+// With -scenario the command runs a declarative scenario spec
+// (internal/scenario) instead of a weather campaign: the spec picks the
+// energy source (sky, bench light, piezo harvester, indoor lighting, or a
+// recorded trace), the workload and the population size; -csv then exports
+// the rendered light trace of the shared environment.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"repro/internal/pv"
 	"repro/internal/reg"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/weather"
 )
@@ -70,12 +79,19 @@ func run(args []string, stdout io.Writer) error {
 		csvPath    = fs.String("csv", "", "write the irradiance trace to this CSV file")
 		tracePath  = fs.String("trace", "", "write simulation events to this file (.json selects Chrome trace format, else JSONL)")
 		profPath   = fs.String("profile", "", "write the campaign's energy-flow pprof profile to this file")
+		scenPath   = fs.String("scenario", "", "run the declarative scenario spec in this JSON file (internal/scenario) instead of a weather campaign")
 		campaigns  = fs.Int("campaigns", 1, "number of campaigns to fan out (seeds seed..seed+N-1)")
 		batch      = fs.Int("batch", 1, "consecutive campaigns one worker job runs back to back; output bytes are identical at every batch size")
 		jobs       = fs.Int("j", runtime.NumCPU(), "campaigns to run in parallel")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenPath != "" {
+		if *campaigns != 1 {
+			return fmt.Errorf("-scenario runs its own population; drop -campaigns")
+		}
+		return runScenario(*scenPath, *jobs, *csvPath, *tracePath, *profPath, stdout)
 	}
 	if *duration <= 0 || *capacity <= 0 {
 		return fmt.Errorf("duration and cap must be positive")
@@ -160,6 +176,65 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	})
+}
+
+// runScenario executes a declarative scenario spec (internal/scenario):
+// the node-explorer view of the same engine hemsim -scenario drives. The
+// report bytes depend only on the spec; -csv exports the rendered light
+// trace of the shared environment.
+func runScenario(specPath string, workers int, csvPath, tracePath, profPath string, stdout io.Writer) error {
+	specText, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.ParseScenario(specText)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.Config{Spec: spec, Workers: workers}
+	var rec *trace.Recorder
+	if tracePath != "" {
+		rec = trace.NewRecorder()
+		cfg.Tracer = rec
+	}
+	if profPath != "" {
+		cfg.Profile = prof.New()
+		cfg.ProfileScope = "hemnode"
+	}
+	rep, err := scenario.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := rep.Report(stdout); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		if err := writeTraceCSV(csvPath, rep.SourceSamples()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", csvPath)
+	}
+	if rec != nil {
+		if err := writeEvents(tracePath, rec.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace events written to %s (%d events)\n", tracePath, rec.Len())
+	}
+	if profPath != "" {
+		f, err := os.Create(profPath)
+		if err != nil {
+			return fmt.Errorf("create profile file: %w", err)
+		}
+		defer f.Close()
+		if err := prof.WritePprof(f, cfg.Profile); err != nil {
+			return fmt.Errorf("write profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "energy profile written to %s\n", profPath)
+	}
+	return nil
 }
 
 // campaign runs one weather-driven campaign and writes its report.

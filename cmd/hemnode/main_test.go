@@ -131,3 +131,41 @@ func TestTraceCSVExport(t *testing.T) {
 		t.Error("csv series missing")
 	}
 }
+
+// TestScenarioRun drives the -scenario path: the report renders, is
+// deterministic across -j, and -csv exports the rendered light trace.
+func TestScenarioRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	text := `{"name":"n","seed":4,"source":{"kind":"indoor"},` +
+		`"workload":{"job_cycles":5e6,"arrivals":{"process":"none"}},` +
+		`"geometry":{"nodes":2,"horizon_s":0.2,"step_s":1e-4}}`
+	if err := os.WriteFile(spec, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csv := filepath.Join(dir, "light.csv")
+	var a, b strings.Builder
+	if err := run([]string{"-scenario", spec, "-j", "1", "-csv", csv}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), "== SCENARIO: n ==") {
+		t.Fatalf("unexpected report:\n%s", a.String())
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil || !strings.Contains(string(data), "irradiance") {
+		t.Errorf("csv export missing or malformed: %v", err)
+	}
+	if err := run([]string{"-scenario", spec, "-j", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), b.String()) {
+		t.Error("-j 8 report differs from -j 1")
+	}
+	var c strings.Builder
+	if err := run([]string{"-scenario", spec, "-campaigns", "2"}, &c); err == nil {
+		t.Error("-scenario with -campaigns accepted")
+	}
+	if err := run([]string{"-scenario", filepath.Join(dir, "missing.json")}, &c); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

@@ -20,6 +20,17 @@
 // of the same spec; the nodes/sec line goes to stderr so piping stdout
 // stays deterministic.
 //
+// With -scenario the command runs a declarative scenario spec
+// (internal/scenario) instead of the figure experiments: one JSON document
+// composes an energy source (clear or cloudy sky, bench light, a piezo
+// impulse-train harvester, a staged indoor-lighting ladder, or a recorded
+// trace), a deadline-plus-radio workload with stochastic event arrivals,
+// and the run geometry. The report bytes depend only on the spec — parity
+// across -j and -batch like every other engine. -record captures the
+// rendered light trace in a versioned replay file; pointing a spec's
+// source at it ({"kind":"trace","path":...}) reproduces the run byte for
+// byte.
+//
 // With -profile the profiled pass of profile-capable experiments re-runs
 // with an exact energy-and-time ledger attached to every integration step
 // and writes the merged result as a gzipped pprof profile: two sample
@@ -34,6 +45,8 @@
 //	       [-faults plan.json] [-j N] [-timing] [experiment...]
 //	hemsim -fleet n=1000[,horizon=0.05,...] [-seed S] [-trace file]
 //	       [-profile file.pb.gz] [-progress] [-j N] [-batch B]
+//	hemsim -scenario spec.json [-record trace.json] [-trace file]
+//	       [-profile file.pb.gz] [-csv dir] [-j N] [-batch B]
 package main
 
 import (
@@ -50,8 +63,10 @@ import (
 	"repro/internal/expt"
 	"repro/internal/fault"
 	"repro/internal/fleet"
+	"repro/internal/plot"
 	"repro/internal/prof"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -73,6 +88,8 @@ func run(args []string, stdout io.Writer) error {
 	faultsFile := fs.String("faults", "", "run chaos-capable experiments under the fault plan in <file> (JSON; requires -trace)")
 	profileFile := fs.String("profile", "", "write an energy-flow pprof profile of profile-capable experiments (or the -fleet run) to <file>")
 	fleetSpec := fs.String("fleet", "", "run a shared-clock node fleet with the given spec (e.g. n=1000 or n=500,horizon=0.1) instead of experiments")
+	scenarioFile := fs.String("scenario", "", "run the declarative scenario spec in <file> (JSON; internal/scenario) instead of experiments")
+	recordFile := fs.String("record", "", "with -scenario, also write the rendered light trace to <file> for later replay via a kind=trace source")
 	progress := fs.Bool("progress", false, "with -fleet, print a per-epoch progress ticker to stderr")
 	seed := fs.Int64("seed", 0, "master seed for -fleet (overrides a seed= key in the spec)")
 	batch := fs.Int("batch", 0, "nodes one -fleet worker advances as a contiguous lane group per epoch; 0 splits the fleet evenly across workers")
@@ -90,6 +107,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		targets = append(targets, rest[0])
 		rest = rest[1:]
+	}
+	if *scenarioFile != "" {
+		if *fleetSpec != "" {
+			return errors.New("-scenario and -fleet are mutually exclusive")
+		}
+		return runScenario(*scenarioFile, *jobs, *batch, *traceFile, *profileFile, *csvDir, *recordFile, stdout)
+	}
+	if *recordFile != "" {
+		return errors.New("-record requires -scenario: it captures the scenario's rendered light trace")
 	}
 	if *fleetSpec != "" {
 		seedSet := false
@@ -247,6 +273,81 @@ func run(args []string, stdout io.Writer) error {
 	if *timing && len(work) > 1 {
 		writeTimingFooter(stdout, timings, *jobs, time.Since(start))
 	}
+	return nil
+}
+
+// runScenario executes one declarative scenario run (internal/scenario).
+// The report bytes on stdout depend only on the spec — byte-identical for
+// every -j and -batch — so the wall-clock rate goes to stderr. With
+// -record, the rendered light trace is written in the versioned replay
+// format: swapping the spec's source for {"kind":"trace","path":...}
+// reproduces this run's report byte for byte.
+func runScenario(specPath string, workers, batch int, traceFile, profileFile, csvDir, recordFile string, stdout io.Writer) error {
+	specText, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.ParseScenario(specText)
+	if err != nil {
+		return err
+	}
+	cfg := scenario.Config{Spec: spec, Workers: workers, Batch: batch}
+	var rec *trace.Recorder
+	if traceFile != "" {
+		rec = trace.NewRecorder()
+		cfg.Tracer = rec
+	}
+	if profileFile != "" {
+		cfg.Profile = prof.New()
+		cfg.ProfileScope = "scenario"
+	}
+	start := time.Now()
+	rep, err := scenario.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := rep.Report(stdout); err != nil {
+		return err
+	}
+	if recordFile != "" {
+		if err := scenario.WriteTraceFile(recordFile, rep.SourceSamples()); err != nil {
+			return err
+		}
+	}
+	if traceFile != "" {
+		if err := writeTrace(traceFile, [][]trace.Event{rec.Events()}, nil, false); err != nil {
+			return err
+		}
+	}
+	if profileFile != "" {
+		if err := writeProfile(profileFile, cfg.Profile); err != nil {
+			return err
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+		name := spec.Name
+		if name == "" {
+			name = "scenario"
+		}
+		path := filepath.Join(csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		defer f.Close()
+		if err := plot.WriteCSV(f, rep.Series()...); err != nil {
+			return fmt.Errorf("csv %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "hemsim: scenario %s: %d node(s) in %s (j=%d)\n",
+		specPath, spec.Geometry.Nodes, elapsed.Round(time.Millisecond), workers)
 	return nil
 }
 

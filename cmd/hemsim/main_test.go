@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -303,5 +304,85 @@ func TestFaultsParityAcrossWorkers(t *testing.T) {
 		if !strings.Contains(out, `"kind":"`+kind+`"`) {
 			t.Errorf("chaos trace missing %s events", kind)
 		}
+	}
+}
+
+// scenarioSpecFile writes a fast scenario spec and returns its path.
+func scenarioSpecFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{"name":"t","seed":9,` +
+		`"source":{"kind":"kinetic","rate_hz":8,"impulse":0.5,"decay_s":0.2},` +
+		`"workload":{"job_cycles":5e6,"aux_w":5e-5},` +
+		`"geometry":{"nodes":3,"horizon_s":0.2,"step_s":1e-4}}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioBatchParity extends the determinism contract to -scenario:
+// byte-identical reports at every -j and -batch.
+func TestScenarioBatchParity(t *testing.T) {
+	spec := scenarioSpecFile(t)
+	outFor := func(jobs, batch string) string {
+		var b strings.Builder
+		if err := run([]string{"-scenario", spec, "-j", jobs, "-batch", batch}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	ref := outFor("1", "1")
+	if !strings.Contains(ref, "== SCENARIO: t ==") {
+		t.Fatalf("unexpected scenario report:\n%s", ref)
+	}
+	for _, tc := range [][2]string{{"2", "1"}, {"8", "1"}, {"1", "64"}, {"4", "2"}} {
+		if got := outFor(tc[0], tc[1]); got != ref {
+			t.Errorf("-j %s -batch %s: scenario report differs from -j 1 -batch 1", tc[0], tc[1])
+		}
+	}
+}
+
+// TestScenarioRecordReplay drives the record/replay loop through the CLI:
+// -record captures the rendered light trace, a kind=trace spec replays it,
+// and the two reports are byte-identical.
+func TestScenarioRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	spec := scenarioSpecFile(t)
+	rec := filepath.Join(dir, "rec.json")
+	var orig strings.Builder
+	if err := run([]string{"-scenario", spec, "-record", rec}, &orig); err != nil {
+		t.Fatal(err)
+	}
+	replaySpec := filepath.Join(dir, "replay.json")
+	text := `{"name":"t","seed":9,` +
+		`"source":{"kind":"trace","path":` + strconv.Quote(rec) + `},` +
+		`"workload":{"job_cycles":5e6,"aux_w":5e-5},` +
+		`"geometry":{"nodes":3,"horizon_s":0.2,"step_s":1e-4}}`
+	if err := os.WriteFile(replaySpec, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed strings.Builder
+	if err := run([]string{"-scenario", replaySpec}, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.String() != orig.String() {
+		t.Errorf("replayed report differs from the original:\n%s\n-- vs --\n%s",
+			replayed.String(), orig.String())
+	}
+}
+
+// TestScenarioFlagValidation: -record without -scenario, and -scenario
+// with -fleet, both fail fast.
+func TestScenarioFlagValidation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-record", "x.json", "fig2"}, &b); err == nil {
+		t.Error("-record without -scenario accepted")
+	}
+	if err := run([]string{"-scenario", "spec.json", "-fleet", "n=2"}, &b); err == nil {
+		t.Error("-scenario with -fleet accepted")
+	}
+	if err := run([]string{"-scenario", filepath.Join(t.TempDir(), "missing.json")}, &b); err == nil {
+		t.Error("missing spec file accepted")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/pv"
 	"repro/internal/reg"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -185,6 +186,10 @@ func registryList() []Experiment {
 		profiledEntry(tracedEntry(entry("ext-fleet", ExtFleet, nil),
 			func(tr trace.Tracer) error { _, err := extFleet(tr, nil); return err }),
 			func(p *prof.Profile) error { _, err := extFleet(nil, p); return err }),
+		profiledEntry(tracedEntry(entry("ext-scenario", ExtScenario,
+			func(r *scenario.Report) []plot.Series { return r.Series() }),
+			func(tr trace.Tracer) error { _, err := extScenario(tr, nil); return err }),
+			func(p *prof.Profile) error { _, err := extScenario(nil, p); return err }),
 	}
 }
 

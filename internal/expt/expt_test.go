@@ -324,8 +324,8 @@ func TestRegistryRunsEverything(t *testing.T) {
 		t.Skip("transient experiments are slow")
 	}
 	names := Names()
-	if len(names) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(names))
+	if len(names) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(names))
 	}
 	registry := Registry()
 	for _, name := range names {

@@ -13,7 +13,7 @@ import (
 )
 
 func TestProfiledIDs(t *testing.T) {
-	want := []string{"ext-fleet", "ext-intermittent", "fig11b", "fig8", "fig9b"}
+	want := []string{"ext-fleet", "ext-intermittent", "ext-scenario", "fig11b", "fig8", "fig9b"}
 	if got := ProfiledIDs(); !reflect.DeepEqual(got, want) {
 		t.Errorf("ProfiledIDs = %v, want %v", got, want)
 	}

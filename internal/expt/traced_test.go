@@ -71,7 +71,7 @@ func TestTraceEventsErrors(t *testing.T) {
 }
 
 func TestTracedIDs(t *testing.T) {
-	want := []string{"ext-fleet", "ext-intermittent", "fig11b", "fig8", "fig9b"}
+	want := []string{"ext-fleet", "ext-intermittent", "ext-scenario", "fig11b", "fig8", "fig9b"}
 	if got := TracedIDs(); !reflect.DeepEqual(got, want) {
 		t.Errorf("TracedIDs = %v, want %v", got, want)
 	}

@@ -223,7 +223,14 @@ func TestParseSpec(t *testing.T) {
 	if err != nil || back != spec {
 		t.Errorf("round trip: %+v != %+v (%v)", back, spec, err)
 	}
-	for _, bad := range []string{"n=0", "n=-3", "bogus=1", "n", "horizon=0", "n=x"} {
+	for _, bad := range []string{
+		"n=0", "n=-3", "bogus=1", "n", "horizon=0", "n=x",
+		// NaN/Inf regression: `NaN <= 0` is false in Go, so these used to
+		// validate and produce NaN-geometry runs and "horizon=NaN" cache
+		// keys (also reachable via the hemserved /api/v1/fleet/{spec} path).
+		"horizon=NaN", "epoch=nan", "step=NaN",
+		"horizon=Inf", "epoch=+Inf", "step=Infinity", "horizon=-Inf",
+	} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)
 		}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -78,13 +79,22 @@ func ParseSpec(text string) (Spec, error) {
 	return spec, spec.validate()
 }
 
+// posFinite reports whether x is a strictly positive, finite float. The
+// naive `x <= 0` reject lets NaN through — `NaN <= 0` is false in Go — so a
+// spec like "horizon=NaN" used to validate, producing a NaN-geometry run
+// and a "horizon=NaN" cache key. `x > 0` is false for NaN, and the explicit
+// Inf check closes the other door ParseFloat leaves open ("horizon=Inf").
+func posFinite(x float64) bool {
+	return x > 0 && !math.IsInf(x, 1)
+}
+
 // validate rejects specs that cannot run.
 func (s Spec) validate() error {
 	if s.N <= 0 {
 		return fmt.Errorf("fleet: n must be positive, got %d", s.N)
 	}
-	if s.Horizon <= 0 || s.Epoch <= 0 || s.Step <= 0 {
-		return fmt.Errorf("fleet: horizon, epoch and step must be positive (horizon=%g epoch=%g step=%g)",
+	if !posFinite(s.Horizon) || !posFinite(s.Epoch) || !posFinite(s.Step) {
+		return fmt.Errorf("fleet: horizon, epoch and step must be positive and finite (horizon=%g epoch=%g step=%g)",
 			s.Horizon, s.Epoch, s.Step)
 	}
 	return nil

@@ -1,0 +1,79 @@
+package scenario
+
+// Stochastic event-arrival processes à la workload generators: the spec
+// names a renewal process (poisson, gamma, weibull) and a mean rate, and
+// the engine draws inter-arrival times from it. The scale of each family
+// is always chosen so the mean inter-arrival stays 1/rate — the shape knob
+// then trades burstiness alone: gamma/weibull shape k < 1 clusters events
+// (battery-less worst case: a burst of transmissions on a drained
+// capacitor), k > 1 spaces them towards a metronome, and k = 1 degenerates
+// to Poisson exactly.
+
+import (
+	"math"
+	"math/rand"
+)
+
+// arrivalTimes draws the event times in [0, horizon) for one node's
+// renewal process. A nil process ("none") returns no events.
+func arrivalTimes(rng *rand.Rand, ar Arrivals, horizon float64) []float64 {
+	if ar.Process == ArrivalsNone {
+		return nil
+	}
+	draw := interArrival(ar)
+	var times []float64
+	for t := draw(rng); t < horizon; t += draw(rng) {
+		times = append(times, t)
+	}
+	return times
+}
+
+// interArrival returns the inter-arrival sampler of the process, with the
+// scale fixed so the mean is 1/rate.
+func interArrival(ar Arrivals) func(*rand.Rand) float64 {
+	mean := 1 / ar.RateHz
+	switch ar.Process {
+	case ArrivalsGamma:
+		k := ar.Shape
+		scale := mean / k // gamma mean = k * scale
+		return func(rng *rand.Rand) float64 { return scale * gammaDraw(rng, k) }
+	case ArrivalsWeibull:
+		k := ar.Shape
+		scale := mean / math.Gamma(1+1/k) // weibull mean = scale * Γ(1+1/k)
+		return func(rng *rand.Rand) float64 {
+			// Inverse-CDF: U in [0, 1) keeps 1-U in (0, 1], so the log is
+			// finite and the draw non-negative.
+			return scale * math.Pow(-math.Log(1-rng.Float64()), 1/k)
+		}
+	default: // ArrivalsPoisson
+		return func(rng *rand.Rand) float64 { return mean * rng.ExpFloat64() }
+	}
+}
+
+// gammaDraw samples a standard Gamma(k, 1) variate with Marsaglia-Tsang
+// squeeze rejection; shapes below one use the Gamma(k+1) boost followed by
+// the U^(1/k) correction.
+func gammaDraw(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		// rand.Float64 can return 0; Pow(0, 1/k) = 0 then, a legal (zero)
+		// inter-arrival rather than a NaN.
+		return gammaDraw(rng, k+1) * math.Pow(rng.Float64(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

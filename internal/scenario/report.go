@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/plot"
+	"repro/internal/weather"
+)
+
+// SourceStats summarises the rendered light trace. The text report prints
+// these — never the source kind or path — so a recorded environment
+// replayed through kind=trace renders byte-identical to the original run:
+// the stats are properties of the samples, which the trace file preserves
+// exactly.
+type SourceStats struct {
+	Samples   int     `json:"samples"`
+	StepS     float64 `json:"step_s"`
+	DurationS float64 `json:"duration_s"`
+	Min       float64 `json:"min"`
+	Mean      float64 `json:"mean"`
+	Max       float64 `json:"max"`
+}
+
+// NodeResult is one node's outcome.
+type NodeResult struct {
+	ID               int     `json:"id"`
+	V0               float64 `json:"v0_v"`
+	Site             float64 `json:"site"`
+	Events           int     `json:"events"`
+	RadioEnergyJ     float64 `json:"radio_energy_j"`
+	Completed        bool    `json:"completed"`
+	CompletionTimeS  float64 `json:"completion_time_s,omitempty"`
+	BrownedOut       bool    `json:"browned_out"`
+	EnergyHarvestedJ float64 `json:"energy_harvested_j"`
+	EnergyAuxJ       float64 `json:"energy_aux_j"`
+	FinalVcapV       float64 `json:"final_vcap_v"`
+}
+
+// Report summarises a scenario run. Every field is a deterministic
+// function of the Spec.
+type Report struct {
+	Spec            Spec         `json:"spec"`
+	Source          SourceStats  `json:"source"`
+	Nodes           []NodeResult `json:"nodes"`
+	Completed       int          `json:"completed"`
+	BrownedOut      int          `json:"browned_out"`
+	Events          int          `json:"events"`
+	EnergyHarvested float64      `json:"energy_harvested_j"`
+	EnergyDelivered float64      `json:"energy_delivered_j"`
+	EnergyAux       float64      `json:"energy_aux_j"`
+	MeanFinalVcap   float64      `json:"mean_final_vcap_v"`
+
+	// src is the rendered light trace, kept for Series()/recording; not
+	// part of the serialised report.
+	src *weather.Trace
+}
+
+// SourceSamples returns the rendered light trace backing this run, for
+// recording with WriteTrace. Nil on a hand-built Report.
+func (r *Report) SourceSamples() *weather.Trace { return r.src }
+
+// Report renders the human-readable scenario report. The bytes are part of
+// the determinism contract: parity tests, goldens and the record/replay
+// regression all compare them verbatim. Deliberately absent: the source
+// kind and path (see SourceStats) and anything wall-clock.
+func (r *Report) Report(w io.Writer) error {
+	n := len(r.Nodes)
+	name := r.Spec.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	g := r.Spec.Geometry
+	wl := r.Spec.Workload
+	fmt.Fprintf(w, "== SCENARIO: %s ==\n", name)
+	fmt.Fprintf(w, "  seed %d, %d node(s), horizon %g s, step %g s\n", r.Spec.Seed, g.Nodes, g.HorizonS, g.StepS)
+	fmt.Fprintf(w, "  source: %d samples @ %g s, light min/mean/max = %.4f/%.4f/%.4f\n",
+		r.Source.Samples, r.Source.StepS, r.Source.Min, r.Source.Mean, r.Source.Max)
+	fmt.Fprintf(w, "  workload: %.3g-cycle job, deadline %.4f s, sprint %.2f, aux %.2f mW\n",
+		wl.JobCycles, wl.DeadlineFrac*g.HorizonS, wl.Sprint, wl.AuxW*1e3)
+	if wl.Arrivals.Process == ArrivalsNone {
+		fmt.Fprintf(w, "  arrivals: none\n")
+	} else {
+		shape := ""
+		if wl.Arrivals.Shape != 0 {
+			shape = fmt.Sprintf(" shape %g,", wl.Arrivals.Shape)
+		}
+		fmt.Fprintf(w, "  arrivals: %s,%s mean %g events/s, %d-byte payloads (%d events fleet-wide)\n",
+			wl.Arrivals.Process, shape, wl.Arrivals.RateHz, wl.Arrivals.PayloadBytes, r.Events)
+	}
+	fmt.Fprintln(w, "  node    v0 V  site  events  tx mJ   outcome                harvest mJ  final V")
+	for _, nd := range r.Nodes {
+		outcome := "unfinished"
+		if nd.Completed {
+			outcome = fmt.Sprintf("done @ %.4f s", nd.CompletionTimeS)
+		}
+		if nd.BrownedOut {
+			outcome += ", browned"
+		}
+		fmt.Fprintf(w, "  %04d   %.3f  %.2f  %6d  %6.3f  %-22s  %9.3f   %.3f\n",
+			nd.ID, nd.V0, nd.Site, nd.Events, nd.RadioEnergyJ*1e3, outcome,
+			nd.EnergyHarvestedJ*1e3, nd.FinalVcapV)
+	}
+	pct := func(k int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return 100 * float64(k) / float64(n)
+	}
+	fmt.Fprintf(w, "  completed %d/%d (%.1f%%), browned out %d (%.1f%%)\n",
+		r.Completed, n, pct(r.Completed), r.BrownedOut, pct(r.BrownedOut))
+	fmt.Fprintf(w, "  energy: harvested %.3f mJ, delivered %.3f mJ, aux %.3f mJ; mean final vcap %.3f V\n",
+		r.EnergyHarvested*1e3, r.EnergyDelivered*1e3, r.EnergyAux*1e3, r.MeanFinalVcap)
+	return nil
+}
+
+// maxSeriesPoints caps the exported light series; longer traces export a
+// deterministic stride-decimated curve.
+const maxSeriesPoints = 2048
+
+// Series returns the plottable data of the run: the rendered light trace
+// (decimated to at most maxSeriesPoints) and the per-node final voltages.
+func (r *Report) Series() []plot.Series {
+	var out []plot.Series
+	if r.src != nil && len(r.src.Samples) > 0 {
+		stride := (len(r.src.Samples) + maxSeriesPoints - 1) / maxSeriesPoints
+		light := plot.Series{Name: "light"}
+		for i := 0; i < len(r.src.Samples); i += stride {
+			light.X = append(light.X, float64(i)*r.src.Step)
+			light.Y = append(light.Y, r.src.Samples[i])
+		}
+		out = append(out, light)
+	}
+	vcap := plot.Series{Name: "final_vcap_v"}
+	for _, nd := range r.Nodes {
+		vcap.X = append(vcap.X, float64(nd.ID))
+		vcap.Y = append(vcap.Y, nd.FinalVcapV)
+	}
+	return append(out, vcap)
+}

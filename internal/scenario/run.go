@@ -1,0 +1,285 @@
+package scenario
+
+// The scenario engine: render the source once, build one circuit lane per
+// node in a contiguous batch slab, advance all lanes to the horizon on the
+// worker pool, and aggregate in node-ID order. Unlike the fleet scheduler
+// there are no epoch barriers — scenario populations are small and share
+// one environment, so a single StepToContext pass per lane group is both
+// the fastest and the simplest deterministic schedule.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cap"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/prof"
+	"repro/internal/pv"
+	"repro/internal/radio"
+	"repro/internal/reg"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/weather"
+)
+
+// Per-node population trims. Initial charge always varies per node; the
+// site light scale (shading, wearer orientation) only spreads populations
+// of more than one node, so a single-node scenario sees the source exactly
+// as rendered — the property record/replay regression pinning relies on.
+const (
+	nodeCapacitance = 100e-6 // storage capacitance (F), the repo default
+	nodeCapMax      = 2.0    // storage voltage rail (V)
+	nodeV0Lo        = 0.9    // initial charge range (V)
+	nodeV0Hi        = 1.7
+	nodeSiteLo      = 0.35 // site light scale range for multi-node runs
+	nodeSiteHi      = 1.0
+)
+
+// Config assembles a scenario run. Everything beyond Spec is an execution
+// detail outside the determinism contract: the report bytes depend only on
+// the Spec.
+type Config struct {
+	Spec Spec
+	// Workers bounds the goroutines advancing nodes; < 1 means 1.
+	Workers int
+	// Batch bounds how many nodes one worker advances as a contiguous
+	// circuit lane group; < 1 splits the population evenly across workers.
+	Batch int
+	// Tracer, when non-nil, receives the scenario.run span plus every
+	// node's circuit events (tracks scn/NNNN), merged in node-ID order.
+	Tracer trace.Tracer
+	// Ctx, when non-nil, cancels the run between lanes.
+	Ctx context.Context
+	// Profile, when non-nil, collects an exact energy-and-time ledger per
+	// node, folded in node-ID order under ProfileScope.
+	Profile      *prof.Profile
+	ProfileScope string
+}
+
+// nodeLabel is the per-node stream/track/profile label.
+func nodeLabel(id int) string { return fmt.Sprintf("scn/%04d", id) }
+
+// nodeTrims holds the per-node population draws.
+type nodeTrims struct {
+	v0   float64
+	site float64
+}
+
+// trimsFor draws node id's trims from its private stream.
+func trimsFor(spec Spec, id int) nodeTrims {
+	rng := rand.New(rand.NewSource(fault.StreamSeed(spec.Seed, nodeLabel(id), "trim")))
+	tr := nodeTrims{
+		v0:   nodeV0Lo + (nodeV0Hi-nodeV0Lo)*rng.Float64(),
+		site: 1.0,
+	}
+	if spec.Geometry.Nodes > 1 {
+		tr.site = nodeSiteLo + (nodeSiteHi-nodeSiteLo)*rng.Float64()
+	}
+	return tr
+}
+
+// Run executes the scenario and returns its report.
+func Run(cfg Config) (*Report, error) {
+	spec := cfg.Spec
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := spec.Geometry.Nodes
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = (n + cfg.Workers - 1) / cfg.Workers
+	}
+
+	src, err := spec.SourceTrace()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Spec: spec, Nodes: make([]NodeResult, n)}
+	rep.src = src
+	rep.Source.Samples = len(src.Samples)
+	rep.Source.StepS = src.Step
+	rep.Source.DurationS = src.Duration()
+	rep.Source.Min, rep.Source.Mean, rep.Source.Max = src.Stats()
+
+	// Build the population. Everything here is a deterministic function of
+	// (spec, node id): trims, arrivals and the shared source are all stream-
+	// seeded, so build order cannot matter.
+	tx := radio.New()
+	cfgs := make([]circuit.Config, n)
+	ctrls := make([]*sched.DeadlineController, n)
+	var leds []prof.Ledger
+	if cfg.Profile != nil {
+		leds = make([]prof.Ledger, n)
+	}
+	var recs []*trace.Recorder
+	if cfg.Tracer != nil {
+		recs = make([]*trace.Recorder, n)
+	}
+	horizon, step := spec.Geometry.HorizonS, spec.Geometry.StepS
+	for i := 0; i < n; i++ {
+		trims := trimsFor(spec, i)
+		storage, err := cap.New(nodeCapacitance, trims.v0, nodeCapMax)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: node %d storage: %w", i, err)
+		}
+		times := arrivalTimes(
+			rand.New(rand.NewSource(fault.StreamSeed(spec.Seed, nodeLabel(i), "arrivals"))),
+			spec.Workload.Arrivals, horizon)
+		packets := make([]radio.Packet, len(times))
+		for k, t := range times {
+			packets[k] = radio.Packet{Time: t, PayloadBytes: spec.Workload.Arrivals.PayloadBytes}
+		}
+		schedTx, err := tx.NewSchedule(packets)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: node %d radio: %w", i, err)
+		}
+		aux := auxLoad(spec.Workload.AuxW, schedTx)
+		ctrl := &sched.DeadlineController{
+			Cycles:      spec.Workload.JobCycles,
+			Deadline:    spec.Workload.DeadlineFrac * horizon,
+			Sprint:      spec.Workload.Sprint,
+			AllowBypass: true,
+		}
+		ctrls[i] = ctrl
+		cfgs[i] = circuit.Config{
+			Cell:       pv.NewCell(),
+			Proc:       cpu.NewProcessor(),
+			Reg:        reg.NewSC(),
+			Cap:        storage,
+			Irradiance: siteIrradiance(src, trims.site),
+			Controller: ctrl,
+			AuxLoad:    aux,
+			Step:       step,
+			MaxTime:    horizon,
+			JobCycles:  spec.Workload.JobCycles,
+		}
+		if leds != nil {
+			cfgs[i].Ledger = &leds[i]
+		}
+		if recs != nil {
+			recs[i] = trace.NewRecorder()
+			cfgs[i].Tracer = recs[i]
+			cfgs[i].TraceTrack = nodeLabel(i)
+		}
+		rep.Nodes[i] = NodeResult{
+			ID: i, V0: trims.v0, Site: trims.site,
+			Events: len(times), RadioEnergyJ: schedTx.TotalEnergy(),
+		}
+	}
+
+	batch, err := circuit.NewBatch(cfgs)
+	if err != nil {
+		var le *circuit.LaneError
+		if errors.As(err, &le) {
+			return nil, fmt.Errorf("scenario: node %d circuit: %w", le.Lane, le.Err)
+		}
+		return nil, err
+	}
+	lanes := make([]*circuit.Simulator, n)
+	for i := range lanes {
+		lanes[i] = batch.Lane(i)
+	}
+
+	// Advance every lane to the horizon in contiguous windows on the worker
+	// pool. Workers touch only their own window's lanes; all reads below
+	// happen after the pool drains, in node-ID order.
+	eff := cfg.Batch
+	if eff > n {
+		eff = n // mirror ForEachBatch's clamp so group indexing matches
+	}
+	groupErrs := make([]error, n)
+	runner.ForEachBatch(n, eff, cfg.Workers, func(lo, hi int) {
+		grp := circuit.Group(lanes[lo:hi])
+		_, groupErrs[lo/eff] = grp.StepToContext(cfg.Ctx, horizon)
+	})
+	for g := 0; g < (n+eff-1)/eff; g++ {
+		if err := groupErrs[g]; err != nil {
+			var le *circuit.LaneError
+			if errors.As(err, &le) {
+				return nil, fmt.Errorf("scenario: node %d: %w", g*eff+le.Lane, le.Err)
+			}
+			return nil, fmt.Errorf("scenario: run cancelled: %w", err)
+		}
+	}
+
+	// Aggregate in node-ID order.
+	for i := range lanes {
+		out := lanes[i].Outcome()
+		nr := &rep.Nodes[i]
+		nr.Completed = out.Completed
+		nr.CompletionTimeS = out.CompletionTime
+		nr.BrownedOut = out.BrownedOut
+		nr.EnergyHarvestedJ = out.EnergyHarvested
+		nr.EnergyAuxJ = out.EnergyAux
+		nr.FinalVcapV = out.FinalCapVoltage
+		rep.EnergyHarvested += out.EnergyHarvested
+		rep.EnergyDelivered += out.EnergyDelivered
+		rep.EnergyAux += out.EnergyAux
+		rep.MeanFinalVcap += out.FinalCapVoltage
+		rep.Events += nr.Events
+		if out.Completed {
+			rep.Completed++
+		}
+		if out.BrownedOut {
+			rep.BrownedOut++
+		}
+	}
+	rep.MeanFinalVcap /= float64(n)
+
+	// Trace: the run span wraps every node's events, merged in node order,
+	// so the stream is independent of workers and batch size.
+	if cfg.Tracer != nil {
+		trace.Begin(cfg.Tracer, "scenario.run", 0, "scenario", trace.Args{
+			"nodes": n, "seed": spec.Seed, "horizon_s": horizon,
+		})
+		batches := make([][]trace.Event, len(recs))
+		for i, rec := range recs {
+			batches[i] = rec.Events()
+		}
+		for _, ev := range trace.Merge(batches...) {
+			cfg.Tracer.Emit(ev)
+		}
+		trace.End(cfg.Tracer, "scenario.run", horizon, "scenario", trace.Args{
+			"completed": rep.Completed, "browned_out": rep.BrownedOut,
+			"harvest_j": rep.EnergyHarvested,
+		})
+	}
+
+	// Profile fold, in node-ID order like every other reduction.
+	if cfg.Profile != nil {
+		for i := range leds {
+			if leds[i].Empty() {
+				continue
+			}
+			cfg.Profile.Ledger(prof.Scope{
+				Experiment: cfg.ProfileScope, Node: nodeLabel(i),
+			}).Merge(&leds[i])
+		}
+	}
+	return rep, nil
+}
+
+// siteIrradiance scales the shared source by the node's site exposure
+// without mutating the shared trace.
+func siteIrradiance(src *weather.Trace, site float64) func(float64) float64 {
+	if site == 1 {
+		return src.At
+	}
+	return func(t float64) float64 { return site * src.At(t) }
+}
+
+// auxLoad composes the constant peripheral draw with the radio schedule.
+func auxLoad(base float64, schedTx *radio.Schedule) func(float64) float64 {
+	if schedTx.TotalEnergy() == 0 {
+		return func(float64) float64 { return base }
+	}
+	return func(t float64) float64 { return base + schedTx.Load(t) }
+}

@@ -1,0 +1,293 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// demoSpec composes a kinetic harvester with Poisson radio arrivals over a
+// small population — the acceptance scenario of the determinism criteria.
+const demoSpec = `{"name":"demo","seed":9,` +
+	`"source":{"kind":"kinetic","rate_hz":8,"impulse":0.5,"decay_s":0.2},` +
+	`"workload":{"job_cycles":5e6,"aux_w":5e-5},"geometry":{"nodes":4,"horizon_s":1,"step_s":1e-4}}`
+
+// render runs the spec text and returns the report bytes.
+func render(t *testing.T, specText string, workers, batch int) []byte {
+	t.Helper()
+	spec, err := ParseScenario([]byte(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{Spec: spec, Workers: workers, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkerBatchParity is the scenario half of the repo's signature
+// invariant: report bytes must not depend on the worker count or the batch
+// size.
+func TestWorkerBatchParity(t *testing.T) {
+	ref := render(t, demoSpec, 1, 0)
+	for _, workers := range []int{1, 2, 8} {
+		for _, batch := range []int{0, 1, 3, 64} {
+			if got := render(t, demoSpec, workers, batch); !bytes.Equal(got, ref) {
+				t.Errorf("workers=%d batch=%d: report differs from the scalar reference:\n%s\n-- vs --\n%s",
+					workers, batch, got, ref)
+			}
+		}
+	}
+}
+
+// TestRunDeterminismBySeed: same spec twice is byte-identical; a different
+// seed changes the bytes.
+func TestRunDeterminismBySeed(t *testing.T) {
+	a := render(t, demoSpec, 4, 0)
+	b := render(t, demoSpec, 4, 0)
+	if !bytes.Equal(a, b) {
+		t.Error("same-spec runs differ")
+	}
+	other := render(t, strings.Replace(demoSpec, `"seed":9`, `"seed":10`, 1), 4, 0)
+	if bytes.Equal(a, other) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+// TestStringRoundTrip: for a swath of specs, ParseScenario(spec.String())
+// is the identity and String() is stable across the round trip — the
+// property that makes canonical strings safe cache keys.
+func TestStringRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		`{}`,
+		demoSpec,
+		`{"source":{"kind":"indoor","start_stage":1},"workload":{"arrivals":{"process":"none"}}}`,
+		`{"source":{"kind":"cloudy","level":0.5},"workload":{"arrivals":{"process":"weibull","shape":0.8}}}`,
+		`{"source":{"kind":"clearsky","peak":0.9,"sunrise_frac":0.2,"sunset_frac":0.7}}`,
+		`{"source":{"kind":"trace","path":"recorded.json"}}`,
+		`{"workload":{"arrivals":{"process":"gamma","rate_hz":12,"payload_bytes":64}}}`,
+	} {
+		spec, err := ParseScenario([]byte(text))
+		if err != nil {
+			t.Fatalf("ParseScenario(%s): %v", text, err)
+		}
+		back, err := ParseScenario([]byte(spec.String()))
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", spec.String(), err)
+		}
+		if back != spec {
+			t.Errorf("round trip changed the spec:\n%+v\n%+v", spec, back)
+		}
+		if back.String() != spec.String() {
+			t.Errorf("canonical form unstable: %q != %q", back.String(), spec.String())
+		}
+	}
+}
+
+// TestParseScenarioRejects covers the front-door validation.
+func TestParseScenarioRejects(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`not json`,
+		`{"bogus":1}`,                  // unknown field
+		`{} {}`,                        // trailing document
+		`{"version":99}`,               // future schema
+		`{"source":{"kind":"fusion"}}`, // unknown kind
+		`{"source":{"kind":"bench","level":-1}}`,
+		`{"source":{"kind":"bench","level":1e30}}`,
+		`{"source":{"kind":"trace"}}`, // missing path
+		`{"source":{"kind":"clearsky","sunrise_frac":0.9,"sunset_frac":0.2}}`,
+		`{"source":{"kind":"kinetic","jitter":1.5}}`,
+		`{"source":{"kind":"indoor","start_stage":9}}`,
+		`{"workload":{"job_cycles":-5}}`,
+		`{"workload":{"deadline_frac":1.5}}`,
+		`{"workload":{"arrivals":{"process":"uniform"}}}`,
+		`{"workload":{"arrivals":{"process":"poisson","shape":2}}}`,
+		`{"workload":{"arrivals":{"process":"none","rate_hz":3}}}`,
+		`{"workload":{"arrivals":{"process":"gamma","payload_bytes":4096}}}`,
+		`{"geometry":{"nodes":-1}}`,
+		`{"geometry":{"nodes":1000000000}}`,
+		`{"geometry":{"horizon_s":-2}}`,
+		`{"geometry":{"horizon_s":0.001,"step_s":1}}`, // step > horizon
+	} {
+		if _, err := ParseScenario([]byte(bad)); err == nil {
+			t.Errorf("ParseScenario(%s) accepted", bad)
+		} else if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseScenario(%s) returned %v, want ErrBadSpec", bad, err)
+		}
+	}
+}
+
+// TestValidateRejectsNaN: JSON cannot spell NaN/Inf, but a hand-built Spec
+// can — Validate must catch what ParseScenario never sees. This is the
+// same `NaN <= 0` trap the fleet spec fix closed.
+func TestValidateRejectsNaN(t *testing.T) {
+	base := func() Spec {
+		spec, err := ParseScenario([]byte(demoSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	for name, mutate := range map[string]func(*Spec){
+		"NaN horizon":  func(s *Spec) { s.Geometry.HorizonS = math.NaN() },
+		"Inf horizon":  func(s *Spec) { s.Geometry.HorizonS = math.Inf(1) },
+		"NaN step":     func(s *Spec) { s.Geometry.StepS = math.NaN() },
+		"NaN cycles":   func(s *Spec) { s.Workload.JobCycles = math.NaN() },
+		"NaN aux":      func(s *Spec) { s.Workload.AuxW = math.NaN() },
+		"NaN rate":     func(s *Spec) { s.Source.RateHz = math.NaN() },
+		"NaN arr rate": func(s *Spec) { s.Workload.Arrivals.RateHz = math.NaN() },
+		"NaN deadline": func(s *Spec) { s.Workload.DeadlineFrac = math.NaN() },
+		"NaN sprint":   func(s *Spec) { s.Workload.Sprint = math.NaN() },
+	} {
+		spec := base()
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestRecordReplayByteIdentity is the regression-pinning property the
+// trace format exists for: record the demo scenario's rendered source,
+// re-run the same spec with the source swapped for the recording, and the
+// report bytes must be identical.
+func TestRecordReplayByteIdentity(t *testing.T) {
+	spec, err := ParseScenario([]byte(demoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{Spec: spec, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var original bytes.Buffer
+	if err := rep.Report(&original); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "recorded.json")
+	if err := WriteTraceFile(path, rep.SourceSamples()); err != nil {
+		t.Fatal(err)
+	}
+
+	replay := spec
+	replay.Source = Source{Kind: SourceTrace, Path: path}
+	rep2, err := Run(Config{Spec: replay, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed bytes.Buffer
+	if err := rep2.Report(&replayed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(original.Bytes(), replayed.Bytes()) {
+		t.Errorf("replayed report differs from the original:\n%s\n-- vs --\n%s",
+			replayed.String(), original.String())
+	}
+}
+
+// TestTraceDeterminism checks the scenario.* event stream: valid events
+// and byte-level independence from the worker count and batch size.
+func TestTraceDeterminism(t *testing.T) {
+	record := func(workers, batch int) []trace.Event {
+		spec, err := ParseScenario([]byte(demoSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		if _, err := Run(Config{Spec: spec, Workers: workers, Batch: batch, Tracer: rec}); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events()
+	}
+	ref := record(1, 0)
+	if err := trace.ValidateAll(ref); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) < 2 {
+		t.Fatalf("only %d events recorded", len(ref))
+	}
+	if got := record(8, 1); !reflect.DeepEqual(got, ref) {
+		t.Error("trace events differ between workers=1 and workers=8/batch=1")
+	}
+}
+
+// TestRunCancellation: a cancelled context aborts the run with the
+// context's error instead of simulating to the horizon.
+func TestRunCancellation(t *testing.T) {
+	spec, err := ParseScenario([]byte(demoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(Config{Spec: spec, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestArrivalProcesses: every process is deterministic by seed and hits
+// its configured mean rate within sampling tolerance; gamma/weibull shape
+// below one produces burstier (higher-variance) trains than above one.
+func TestArrivalProcesses(t *testing.T) {
+	const horizon, rate = 2000.0, 5.0
+	for _, process := range []string{ArrivalsPoisson, ArrivalsGamma, ArrivalsWeibull} {
+		ar := Arrivals{Process: process, RateHz: rate}
+		if process != ArrivalsPoisson {
+			ar.Shape = 2
+		}
+		a := arrivalTimes(rand.New(rand.NewSource(3)), ar, horizon)
+		b := arrivalTimes(rand.New(rand.NewSource(3)), ar, horizon)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different trains", process)
+		}
+		got := float64(len(a)) / horizon
+		if got < 0.9*rate || got > 1.1*rate {
+			t.Errorf("%s: rate %.2f events/s, want ~%g", process, got, rate)
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] < a[i-1] {
+				t.Fatalf("%s: arrivals not sorted at %d", process, i)
+			}
+		}
+	}
+	if got := arrivalTimes(rand.New(rand.NewSource(1)), Arrivals{Process: ArrivalsNone}, horizon); got != nil {
+		t.Errorf("none produced %d events", len(got))
+	}
+	// Burstiness orders with shape: squared coefficient of variation of the
+	// inter-arrival times is > 1 below shape 1 and < 1 above it.
+	cv2 := func(shape float64) float64 {
+		times := arrivalTimes(rand.New(rand.NewSource(5)),
+			Arrivals{Process: ArrivalsGamma, RateHz: rate, Shape: shape}, horizon)
+		var gaps []float64
+		for i := 1; i < len(times); i++ {
+			gaps = append(gaps, times[i]-times[i-1])
+		}
+		var sum, sq float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		for _, g := range gaps {
+			sq += (g - mean) * (g - mean)
+		}
+		return sq / float64(len(gaps)) / (mean * mean)
+	}
+	if bursty, regular := cv2(0.4), cv2(4); bursty <= 1 || regular >= 1 {
+		t.Errorf("gamma burstiness does not order with shape: cv2(0.4)=%.2f cv2(4)=%.2f", bursty, regular)
+	}
+}

@@ -124,6 +124,8 @@ func (s *Server) routes() {
 	handle("POST /api/v1/experiments/batch", "experiments_batch", s.handleExperimentsBatch)
 	handle("GET /api/v1/fleet/{spec}", "fleet_get", s.handleFleet)
 	handle("GET /api/v1/fleet/{spec}/live", "fleet_live", s.handleFleetLive)
+	handle("GET /api/v1/scenarios", "scenarios_info", s.handleScenariosInfo)
+	handle("POST /api/v1/scenarios", "scenarios_run", s.handleScenariosRun)
 	handle("POST /api/v1/pv/solve", "pv_solve", s.handlePVSolve)
 	handle("POST /api/v1/mppt/plan", "mppt_plan", s.handleMPPTPlan)
 	handle("GET /metrics", "metrics", s.handleMetrics)

@@ -101,13 +101,28 @@ type Trace struct {
 	Samples []float64 // irradiance fraction per sample
 }
 
+// NewTrace returns an all-dark trace covering duration (s) at the given
+// sample step (s), sized with the same integer-snap arithmetic the
+// generators in this package use (see sampleCount). Callers fill Samples
+// in place; both arguments must be positive.
+func NewTrace(duration, step float64) *Trace {
+	return &Trace{Step: step, Samples: make([]float64, sampleCount(duration, step))}
+}
+
 // At returns the irradiance at time t with linear interpolation, clamping
 // outside the trace. The method value (tr.At) plugs directly into
 // circuit.Config.Irradiance.
+//
+// A non-positive (or NaN) Step — reachable through the zero value or a
+// hand-built trace — would make pos below NaN/Inf and index chaos; such a
+// degenerate trace is treated as constant at its first sample instead.
 func (tr *Trace) At(t float64) float64 {
 	n := len(tr.Samples)
 	if n == 0 {
 		return 0
+	}
+	if !(tr.Step > 0) { // false for zero, negative and NaN steps
+		return tr.Samples[0]
 	}
 	pos := t / tr.Step
 	switch {
@@ -159,13 +174,37 @@ func CloudFraction(cloudy, clear *Trace, threshold float64) float64 {
 	return float64(n) / float64(len(cloudy.Samples))
 }
 
+// sampleCountEps is the relative slack sampleCount allows when deciding
+// that a duration/step quotient is "really" an integer — the same bound
+// internal/circuit's stepCount uses for its step budget. One float64
+// division is wrong by at most half an ulp (~1.1e-16 relative), so 1e-12
+// is four orders of magnitude of headroom while staying far below any
+// fractional sample a caller could configure on purpose.
+const sampleCountEps = 1e-12
+
+// sampleCount converts a (duration, step) pair into the trace sample
+// count, one sample per step boundary in [0, duration]. The naive
+// int(duration/step)+1 silently truncates whenever the division lands a
+// few ulps below an exact multiple — 0.3/0.1 evaluates to
+// 2.9999999999999996, so the trace lost its endpoint sample, shifting
+// Trace.Duration() and the At() clamp boundary. Quotients within
+// sampleCountEps of an integer snap to it; everything else still floors,
+// so a deliberately fractional trailing interval keeps its partial sample.
+func sampleCount(duration, step float64) int {
+	x := duration / step
+	if r := math.Round(x); r >= 0 && math.Abs(x-r) <= r*sampleCountEps {
+		return int(r) + 1
+	}
+	return int(x) + 1
+}
+
 // ClearSky returns the deterministic daylight envelope trace: zero before
 // sunrise and after sunset, a half-sine peaking at `peak` in between.
 func ClearSky(duration, step, sunrise, sunset, peak float64) (*Trace, error) {
 	if duration <= 0 || step <= 0 {
 		return nil, fmt.Errorf("%w: duration=%g step=%g", ErrBadTrace, duration, step)
 	}
-	n := int(duration/step) + 1
+	n := sampleCount(duration, step)
 	tr := &Trace{Step: step, Samples: make([]float64, n)}
 	for i := 0; i < n; i++ {
 		t := float64(i) * step
@@ -185,7 +224,7 @@ func (g *Generator) Trace(duration, step float64, envelope *Trace) (*Trace, erro
 	if duration <= 0 || step <= 0 {
 		return nil, fmt.Errorf("%w: duration=%g step=%g", ErrBadTrace, duration, step)
 	}
-	n := int(duration/step) + 1
+	n := sampleCount(duration, step)
 	tr := &Trace{Step: step, Samples: make([]float64, n)}
 
 	cloudy := g.rng.Float64() < g.meanCloudyDwell/(g.meanClearDwell+g.meanCloudyDwell)

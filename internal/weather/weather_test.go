@@ -172,6 +172,81 @@ func TestQuickTraceBounds(t *testing.T) {
 	}
 }
 
+// TestSampleCountSnapsNearIntegerRatios is the regression test for the
+// FP-truncation bug: duration/step quotients that land a few ulps below an
+// exact multiple (0.3/0.1 = 2.9999999999999996) used to lose the endpoint
+// sample, shifting Trace.Duration() and the At() clamp boundary.
+func TestSampleCountSnapsNearIntegerRatios(t *testing.T) {
+	cases := []struct {
+		duration, step float64
+		want           int
+	}{
+		// Known-bad ratios: the raw quotient truncates one short.
+		{0.3, 0.1, 4},
+		{0.7, 0.1, 8},
+		{0.6, 0.2, 4},
+		{8.1, 0.1, 82},
+		{4.8, 0.1, 49},
+		// Exact and fractional ratios keep their former counts.
+		{10, 0.001, 10001},
+		{1, 0.1, 11},
+		{1, 0.4, 3}, // 2.5 steps: floor + endpoint partial
+		{0.05, 0.2, 1},
+	}
+	for _, c := range cases {
+		if got := sampleCount(c.duration, c.step); got != c.want {
+			t.Errorf("sampleCount(%g, %g) = %d, want %d", c.duration, c.step, got, c.want)
+		}
+	}
+	// Both public constructors size through the same helper.
+	tr, err := ClearSky(0.3, 0.1, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 4 || math.Abs(tr.Duration()-0.3) > 1e-12 {
+		t.Errorf("ClearSky(0.3, 0.1): %d samples, duration %g", len(tr.Samples), tr.Duration())
+	}
+	gtr, err := NewGenerator(rand.New(rand.NewSource(1))).Trace(0.7, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gtr.Samples) != 8 {
+		t.Errorf("Generator.Trace(0.7, 0.1): %d samples, want 8", len(gtr.Samples))
+	}
+}
+
+// Property: for every (duration, step), the trace always covers the full
+// duration — Duration() is never more than one step short of the request.
+func TestQuickSampleCountCoversDuration(t *testing.T) {
+	f := func(dRaw, sRaw uint16) bool {
+		duration := 0.05 + float64(dRaw)/997.0
+		step := 0.001 + float64(sRaw)/65536.0
+		n := sampleCount(duration, step)
+		if n < 1 {
+			return false
+		}
+		covered := float64(n-1) * step
+		return covered > duration-step*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAtDegenerateStep is the regression test for the unguarded t/Step
+// division: a zero, negative or NaN Step (the zero value, or a hand-built
+// trace) must behave as a constant source, not emit NaN/Inf irradiance.
+func TestAtDegenerateStep(t *testing.T) {
+	for _, step := range []float64{0, -1, math.NaN()} {
+		tr := &Trace{Step: step, Samples: []float64{0.25, 0.5}}
+		for _, at := range []float64{-1, 0, 0.5, 1e9} {
+			if got := tr.At(at); got != 0.25 {
+				t.Errorf("step=%g At(%g) = %g, want first sample 0.25", step, at, got)
+			}
+		}
+	}
+}
+
 func TestTraceErrors(t *testing.T) {
 	g := NewGenerator(rand.New(rand.NewSource(1)))
 	if _, err := g.Trace(0, 0.1, nil); !errors.Is(err, ErrBadTrace) {
