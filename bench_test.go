@@ -748,3 +748,83 @@ func BenchmarkFleetRun(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetDark measures event-horizon fast-forward on the regime it
+// exists for: a 10k-node fleet whose sky is exactly dark for almost the
+// whole horizon, so every node drains, collapses, and then sits in a
+// provably-inert fixed point. The ffwd sub-benchmark skips those spans
+// (O(events) per epoch per dead node); noffwd steps them verbatim. Both
+// produce byte-identical reports — the whole point — so nodes/s is the
+// only number that moves.
+//
+// Geometry note: a verbatim step through a collapsed node is already
+// cheap (the kernel short-circuits), so the skip only dominates once the
+// dark tail outnumbers the bright head ~100:1 in steps — hence dark=0.99
+// over a long horizon rather than a fatter bright head. The benchguard
+// fleet_dark_* entries guard a scaled-down version of this ratio in
+// BENCH_sim.json.
+func BenchmarkFleetDark(b *testing.B) {
+	base := fleet.Config{
+		Nodes: 10000, Seed: 1, Horizon: 10.0, Epoch: 0.1, Step: 2e-4, Dark: 0.99,
+	}
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{{"ffwd", false}, {"noffwd", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := base
+			cfg.NoFastForward = mode.noFF
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.Nodes)*float64(b.N)/b.Elapsed().Seconds(), "nodes/s")
+		})
+	}
+}
+
+// BenchmarkKernelFastForward measures the single-simulator skip path: a
+// bright head, then exact darkness for the rest of a long horizon. The
+// ffwd run crosses the dead tail in O(1) attempts; the noffwd run pays a
+// stepOnce per step. ns/step is reported against the nominal step count,
+// so the ffwd number falls with the length of the skipped tail.
+func BenchmarkKernelFastForward(b *testing.B) {
+	const step, maxTime = 2e-5, 2.0
+	build := func(noFF bool) *circuit.Simulator {
+		storage, err := cap.New(100e-6, 1.2, 2.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := circuit.New(circuit.Config{
+			Cell:             pv.NewCell(),
+			Proc:             cpu.NewProcessor(),
+			Reg:              reg.NewSC(),
+			Cap:              storage,
+			IrradianceSource: circuit.StepSource{Before: 1.0, After: 0, T0: 0.02},
+			Controller:       &circuit.FixedPoint{Supply: 0.5},
+			AuxLoad:          func(float64) float64 { return 0.4e-3 },
+			Step:             step,
+			MaxTime:          maxTime,
+			NoFastForward:    noFF,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim
+	}
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{{"ffwd", false}, {"noffwd", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := build(mode.noFF).Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/(maxTime/step), "ns/step")
+		})
+	}
+}

@@ -268,6 +268,33 @@ func simPaths() map[string]hotPath {
 			}
 			return nil
 		},
+		// Event-horizon fast-forward on a mostly-dark fleet, scaled down
+		// from BenchmarkFleetDark (repo root, 10k nodes): the same
+		// geometry at 50 nodes. The pair pins the skip path's speedup in
+		// the baseline — fleet_dark_noffwd / fleet_dark_ffwd is the
+		// recorded ratio, and fleet_dark_ffwd alone guards the skip
+		// machinery against regressions.
+		"fleet_dark_ffwd": func(n int) error {
+			for i := 0; i < n; i++ {
+				if _, err := fleet.Run(fleet.Config{
+					Nodes: 50, Seed: 1, Horizon: 10.0, Epoch: 0.1, Step: 2e-4, Dark: 0.99,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"fleet_dark_noffwd": func(n int) error {
+			for i := 0; i < n; i++ {
+				if _, err := fleet.Run(fleet.Config{
+					Nodes: 50, Seed: 1, Horizon: 10.0, Epoch: 0.1, Step: 2e-4, Dark: 0.99,
+					NoFastForward: true,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
 	}
 }
 

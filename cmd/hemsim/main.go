@@ -18,7 +18,11 @@
 // most -batch nodes (internal/circuit's batched stepper). The report on
 // stdout is byte-identical for every -j, every -batch and every repetition
 // of the same spec; the nodes/sec line goes to stderr so piping stdout
-// stays deterministic.
+// stays deterministic. Event-horizon fast-forward (-ffwd, on by default)
+// skips provably-inert node spans — collapsed nodes under an exactly-dark
+// sky (see a spec's dark= key) — without changing a byte of the report;
+// -ffwd=false forces verbatim stepping, which the ffwd-smoke CI job uses
+// to cross-check the two modes.
 //
 // With -scenario the command runs a declarative scenario spec
 // (internal/scenario) instead of the figure experiments: one JSON document
@@ -44,7 +48,7 @@
 //	hemsim [-list] [-csv dir] [-trace file] [-profile file.pb.gz]
 //	       [-faults plan.json] [-j N] [-timing] [experiment...]
 //	hemsim -fleet n=1000[,horizon=0.05,...] [-seed S] [-trace file]
-//	       [-profile file.pb.gz] [-progress] [-j N] [-batch B]
+//	       [-profile file.pb.gz] [-progress] [-j N] [-batch B] [-ffwd=bool]
 //	hemsim -scenario spec.json [-record trace.json] [-trace file]
 //	       [-profile file.pb.gz] [-csv dir] [-j N] [-batch B]
 package main
@@ -93,6 +97,7 @@ func run(args []string, stdout io.Writer) error {
 	progress := fs.Bool("progress", false, "with -fleet, print a per-epoch progress ticker to stderr")
 	seed := fs.Int64("seed", 0, "master seed for -fleet (overrides a seed= key in the spec)")
 	batch := fs.Int("batch", 0, "nodes one -fleet worker advances as a contiguous lane group per epoch; 0 splits the fleet evenly across workers")
+	ffwd := fs.Bool("ffwd", true, "with -fleet, fast-forward provably-inert node spans (event-horizon stepping); report bytes are identical either way")
 	// Accept flags before and after the experiment IDs (`hemsim all -j 4`):
 	// the stdlib parser stops at the first positional, so re-enter it after
 	// consuming each one.
@@ -124,7 +129,7 @@ func run(args []string, stdout io.Writer) error {
 				seedSet = true
 			}
 		})
-		return runFleet(*fleetSpec, *seed, seedSet, *jobs, *batch, *traceFile, *profileFile, *progress, stdout)
+		return runFleet(*fleetSpec, *seed, seedSet, *jobs, *batch, *traceFile, *profileFile, *progress, !*ffwd, stdout)
 	}
 	var plan *fault.Plan
 	if *faultsFile != "" {
@@ -354,7 +359,7 @@ func runScenario(specPath string, workers, batch int, traceFile, profileFile, cs
 // runFleet executes one fleet run. The report bytes on stdout depend only
 // on the resolved spec — the determinism contract extends the experiments'
 // -j parity to fleets — so the wall-clock rate is printed to stderr.
-func runFleet(specText string, seed int64, seedSet bool, workers, batch int, traceFile, profileFile string, progress bool, stdout io.Writer) error {
+func runFleet(specText string, seed int64, seedSet bool, workers, batch int, traceFile, profileFile string, progress, noFastForward bool, stdout io.Writer) error {
 	spec, err := fleet.ParseSpec(specText)
 	if err != nil {
 		return err
@@ -365,6 +370,7 @@ func runFleet(specText string, seed int64, seedSet bool, workers, batch int, tra
 	cfg := spec.Config()
 	cfg.Workers = workers
 	cfg.Batch = batch
+	cfg.NoFastForward = noFastForward
 	var rec *trace.Recorder
 	if traceFile != "" {
 		rec = trace.NewRecorder()

@@ -92,6 +92,11 @@ func (c *Capacitor) Voltage() float64 { return c.voltage }
 // MaxVoltage returns the rated maximum voltage (V).
 func (c *Capacitor) MaxVoltage() float64 { return c.maxVoltage }
 
+// Leakage returns the self-discharge resistance (ohm); 0 means none.
+// The circuit stepper's fast-forward path uses it to prove a frozen
+// positive voltage cannot bleed between events.
+func (c *Capacitor) Leakage() float64 { return c.leakage }
+
 // Energy returns the stored energy 1/2*C*V^2 (J).
 func (c *Capacitor) Energy() float64 {
 	return 0.5 * c.capacitance * c.voltage * c.voltage

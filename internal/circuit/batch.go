@@ -115,6 +115,29 @@ func (b *BatchStepper) StepToContext(ctx context.Context, t float64) (bool, erro
 	return done, nil
 }
 
+// StepToCountContext is StepToContext with the time bound pre-resolved
+// to an integer step target (see Simulator.StepToCount). Schedulers
+// stepping many lanes with a shared Step to shared epoch edges memoize
+// StepsFor once per edge and skip the per-lane float conversion.
+func (b *BatchStepper) StepToCountContext(ctx context.Context, n int) (bool, error) {
+	done := true
+	for i, sim := range b.lanes {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		laneDone, err := sim.StepToCount(n)
+		if err != nil {
+			return false, &LaneError{Lane: i, Err: err}
+		}
+		if !laneDone {
+			done = false
+		}
+	}
+	return done, nil
+}
+
 // Outcomes finalises every lane and returns their outcomes in lane order.
 func (b *BatchStepper) Outcomes() []*Outcome {
 	outs := make([]*Outcome, len(b.lanes))

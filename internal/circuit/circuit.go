@@ -162,8 +162,19 @@ type Config struct {
 	Cap  Storage        // storage node (required)
 
 	// Irradiance returns the light level (fraction of full sun) at time t.
-	// Required.
+	// Required unless IrradianceSource is set.
 	Irradiance func(t float64) float64
+
+	// IrradianceSource, when non-nil, is the event-horizon view of the
+	// SAME signal as Irradiance: its NextChange tells the stepper how far
+	// ahead the light level is provably constant, enabling fast-forward
+	// over dead spans (see DESIGN.md "Event-horizon stepping"). When
+	// Irradiance is nil it is derived as IrradianceSource.At; when both
+	// are set they must describe the same signal. Fast-forward also
+	// requires the Controller to implement Quiescent and — because
+	// skipped steps evaluate neither function — Irradiance and AuxLoad to
+	// be pure functions of t.
+	IrradianceSource EventSource
 
 	// Controller drives DVFS and mode decisions. Required.
 	Controller Controller
@@ -219,6 +230,15 @@ type Config struct {
 	// StopOnBrownout ends the run at the first processor halt when true;
 	// otherwise the simulation continues (the node may recover).
 	StopOnBrownout bool
+
+	// NoFastForward disables event-horizon fast-forward even when an
+	// IrradianceSource and a Quiescent controller are present, forcing
+	// verbatim stepping. Output is byte-identical either way (the
+	// differential parity suite enforces it); the flag exists for that
+	// suite and for debugging. Fast-forward is also disabled implicitly
+	// when Ledger is set: the profiler folds per-step dt into time bins
+	// and batching those adds would change accumulator bit patterns.
+	NoFastForward bool
 }
 
 // State is the live simulation state exposed to controllers.
@@ -388,6 +408,17 @@ type Simulator struct {
 	initialized bool
 	finished    bool
 	finalized   bool
+
+	// Event-horizon fast-forward (ffwd.go). ffwd is latched by Init when
+	// the config qualifies; quiescent is the controller's optional
+	// capability; stepsSkipped counts steps proven inert and jumped over;
+	// ffUntil/ffDark cache the irradiance source's constancy horizon so a
+	// long dead span asks the source once, not once per attempt.
+	ffwd         bool
+	quiescent    Quiescent
+	stepsSkipped int
+	ffUntil      float64
+	ffDark       bool
 }
 
 // New validates the configuration and returns a ready simulator.
@@ -412,7 +443,7 @@ func initSimulator(sim *Simulator, cfg Config) error {
 		return fmt.Errorf("%w: Reg", ErrMissingComponent)
 	case cfg.Cap == nil:
 		return fmt.Errorf("%w: Cap", ErrMissingComponent)
-	case cfg.Irradiance == nil:
+	case cfg.Irradiance == nil && cfg.IrradianceSource == nil:
 		return fmt.Errorf("%w: Irradiance", ErrMissingComponent)
 	case cfg.Controller == nil:
 		return fmt.Errorf("%w: Controller", ErrMissingComponent)
@@ -421,6 +452,9 @@ func initSimulator(sim *Simulator, cfg Config) error {
 		return fmt.Errorf("%w: step=%g maxTime=%g", ErrInvalidStep, cfg.Step, cfg.MaxTime)
 	}
 	sim.state.cfg = cfg
+	if sim.state.cfg.Irradiance == nil {
+		sim.state.cfg.Irradiance = cfg.IrradianceSource.At
+	}
 	if len(cfg.ClockLevels) > 0 {
 		// Validate, copy, sort ascending and deduplicate once, so the
 		// per-step quantisation is a binary search over a strictly

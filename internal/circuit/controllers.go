@@ -29,6 +29,10 @@ func (c *FixedPoint) OnStep(*State) {}
 // OnThreshold implements Controller.
 func (c *FixedPoint) OnThreshold(*State, ThresholdEvent) {}
 
+// QuiescentUntil implements Quiescent: OnStep is a no-op, so skipping
+// it can never be observed.
+func (c *FixedPoint) QuiescentUntil(*State) float64 { return math.Inf(1) }
+
 // DirectConnection bypasses the regulator permanently and always runs at
 // the maximum frequency the node voltage allows — the conventional
 // converter-less (passive voltage scaling) operation the paper compares
@@ -52,21 +56,22 @@ func (DirectConnection) OnStep(s *State) {
 // OnThreshold implements Controller.
 func (DirectConnection) OnThreshold(*State, ThresholdEvent) {}
 
+// QuiescentUntil implements Quiescent: OnStep always re-commands +Inf,
+// which Init already set, so skipped OnStep calls leave the exact state
+// verbatim stepping would have.
+func (DirectConnection) QuiescentUntil(*State) float64 { return math.Inf(1) }
+
 // ConstantIrradiance returns an irradiance profile frozen at the given
-// fraction of full sun.
+// fraction of full sun. Constant is the EventSource form.
 func ConstantIrradiance(level float64) func(t float64) float64 {
-	return func(float64) float64 { return level }
+	return Constant{Level: level}.At
 }
 
 // StepIrradiance returns a profile that switches from `before` to `after`
 // at time t0, modelling the paper's "light dimmed due to an obstacle".
+// StepSource is the EventSource form.
 func StepIrradiance(before, after, t0 float64) func(t float64) float64 {
-	return func(t float64) float64 {
-		if t < t0 {
-			return before
-		}
-		return after
-	}
+	return StepSource{Before: before, After: after, T0: t0}.At
 }
 
 // RampIrradiance returns a profile that fades linearly from `start` at time
@@ -113,12 +118,7 @@ func PiecewiseIrradiance(times, levels []float64) func(t float64) float64 {
 
 // DayIrradiance returns a half-sine daylight profile: zero before sunrise
 // and after sunset, peaking at `peak` halfway through the day.
+// DaySource is the EventSource form.
 func DayIrradiance(sunrise, sunset, peak float64) func(t float64) float64 {
-	return func(t float64) float64 {
-		if t <= sunrise || t >= sunset || sunset <= sunrise {
-			return 0
-		}
-		phase := (t - sunrise) / (sunset - sunrise)
-		return peak * math.Sin(math.Pi*phase)
-	}
+	return DaySource{Sunrise: sunrise, Sunset: sunset, Peak: peak}.At
 }

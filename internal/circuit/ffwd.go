@@ -1,0 +1,157 @@
+package circuit
+
+// Event-horizon fast-forward: when a node sits in a bit-exact fixed
+// point — every quantity stepOnce would compute is provably identical,
+// and every accumulator increment is exactly 0.0 — the stepper jumps
+// s.next past the whole inert span instead of executing it. The jump is
+// bitwise invisible: resuming from the skipped-to step produces the
+// same state, waveform, events, and Outcome a verbatim run produces
+// (the differential parity suite in ffwd_test.go enforces it).
+//
+// The proof obligations, all checked per attempt:
+//
+//  1. The input is provably dark over the span: IrradianceSource
+//     promises constancy on [now, NextChange) and the constant value is
+//     <= 0, so pv.CurrentWarm's irradiance<=0 early-out returns exactly
+//     0 without reading or writing the warm-solver state.
+//  2. The node's operating point is the collapse fixed point: halted
+//     with effFreq, loadPow and inputPow all exactly 0, re-derived at
+//     the CURRENT capacitor voltage (resolveOperatingPoint is a pure,
+//     idempotent function of (vcap, commands, bypass), so probing it
+//     here is invisible). Then iLoad = 0, every energy increment is
+//     +0.0, and cyclesDone is frozen — x += 0.0 leaves any
+//     non-negative-zero float64 bitwise unchanged.
+//  3. The voltage cannot bleed: either vcap is exactly 0 (the leakage
+//     term is then 0/R = 0 and the aux draw is clamped to 0, so
+//     ApplyCurrent(0, dt) holds the bits), or vcap > 0 with no AuxLoad
+//     and a leak-free capacitor (ApplyCurrent adds exactly +0.0).
+//  4. The mode is settled: the halt (and any bypass) transition event
+//     for the current state was already emitted by an executed step, so
+//     skipped steps would emit nothing.
+//  5. Comparators are stable: the last executed step already ran
+//     fireComparators at this exact frozen voltage, and the hysteresis
+//     automaton is idempotent at a constant input.
+//  6. The controller vouches, via Quiescent.QuiescentUntil, that
+//     skipping its OnStep calls before the returned horizon is
+//     unobservable (no latches, commands, or trace output).
+//
+// The skip stops at the earliest of: the source's NextChange, the
+// controller's quiescence horizon, the next due waveform sample
+// (TraceEvery), and the StepTo/StepToCount target — everything past any
+// of those boundaries is stepped verbatim.
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// leakFree is the optional storage capability fast-forward needs to
+// prove a positive frozen voltage cannot bleed. *cap.Capacitor
+// implements it; storage models that don't are simply never
+// fast-forwarded at vcap > 0.
+type leakFree interface {
+	// Leakage returns the self-discharge resistance (ohm); <= 0 = none.
+	Leakage() float64
+}
+
+// tryFastForward jumps s.next over the provably-inert span ahead, if
+// any. It never moves past target and never moves backwards; when the
+// proof obligations fail it does nothing and the caller steps verbatim.
+// The skip path performs no allocations (perf_test.go pins this).
+func (s *Simulator) tryFastForward(target int) {
+	st := &s.state
+	cfg := &st.cfg
+
+	// Cheap rejects first: this runs before every verbatim step, so a
+	// live (non-halted) node must fall through in a couple of compares.
+	if !st.halted || !s.prevHalted || st.bypass != s.prevBypass ||
+		st.stopRequested || s.next == 0 {
+		return
+	}
+	if st.loadPow != 0 || st.inputPow != 0 || st.effFreq != 0 {
+		return
+	}
+
+	vcap := cfg.Cap.Voltage()
+	reason := "dark-collapse"
+	if math.Float64bits(vcap) != 0 {
+		// Frozen positive voltage: inert only if nothing can bleed it.
+		if !(vcap > 0) || cfg.AuxLoad != nil {
+			return
+		}
+		lf, ok := cfg.Cap.(leakFree)
+		if !ok || lf.Leakage() > 0 {
+			return
+		}
+		reason = "dark-frozen"
+	}
+
+	// Re-derive the operating point at the CURRENT voltage: the cached
+	// zeros above were computed at the step's starting voltage, which
+	// the step itself may have changed. A passing probe reproduces the
+	// exact zeros already in place; a failing one is rolled back so the
+	// state stays bitwise what the last verbatim step left.
+	savedSupply, savedHalted := st.effSupply, st.halted
+	savedFreq, savedLoad, savedInput := st.effFreq, st.loadPow, st.inputPow
+	st.resolveOperatingPoint(vcap)
+	if !st.halted || st.loadPow != 0 || st.inputPow != 0 || st.effFreq != 0 ||
+		st.effSupply != 0 {
+		st.effSupply, st.halted = savedSupply, savedHalted
+		st.effFreq, st.loadPow, st.inputPow = savedFreq, savedLoad, savedInput
+		return
+	}
+
+	now := st.time
+	if !(now < s.ffUntil) {
+		// (Re)compute the source horizon; the darkness of the constant
+		// value is cached with it, valid until the horizon passes.
+		s.ffUntil = cfg.IrradianceSource.NextChange(now)
+		s.ffDark = cfg.Irradiance(now) <= 0
+	}
+	until := s.ffUntil
+	if !s.ffDark || !(until > now) {
+		return
+	}
+	if q := s.quiescent.QuiescentUntil(st); q < until {
+		until = q
+	}
+	if !(until > now) {
+		return
+	}
+
+	// Last step index whose start time float64(m-1)*Step — the exact
+	// value stepOnce would stamp — still falls inside [now, until).
+	m := target
+	if u := until / cfg.Step; u < float64(m) {
+		if k := stepCount(until, cfg.Step); k < m {
+			m = k
+		}
+	}
+	if s.waveform != nil {
+		// The next due waveform sample executes verbatim; the skip
+		// resumes attempts right after it, so a traced dead span is
+		// crossed in TraceEvery-sized hops.
+		te := cfg.TraceEvery
+		if ks := ((s.next + te - 1) / te) * te; ks < m {
+			m = ks
+		}
+	}
+	for m > s.next && float64(m-1)*cfg.Step >= until {
+		m--
+	}
+	skipped := m - s.next
+	if skipped <= 0 {
+		return
+	}
+
+	if st.Tracing() {
+		st.TraceInstant("circuit.ffwd", trace.Args{
+			"from_s": now, "to_s": float64(m-1) * cfg.Step,
+			"steps": skipped, "reason": reason,
+		})
+	}
+	s.next = m
+	st.time = float64(m-1) * cfg.Step
+	s.stepsSkipped += skipped
+}

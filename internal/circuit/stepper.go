@@ -69,6 +69,20 @@ func (s *Simulator) Init() error {
 
 	s.prevBypass = st.bypass
 	s.prevHalted = false
+
+	// Event-horizon fast-forward qualifies only when the input's horizon
+	// is knowable (IrradianceSource), the controller can vouch for its own
+	// inertness (Quiescent), and no per-step profiling is folding dt into
+	// accumulators (Ledger) — see tryFastForward (ffwd.go) for the
+	// fixed-point proof obligations.
+	s.ffwd = !cfg.NoFastForward && cfg.Ledger == nil && cfg.IrradianceSource != nil
+	if s.ffwd {
+		if q, ok := cfg.Controller.(Quiescent); ok {
+			s.quiescent = q
+		} else {
+			s.ffwd = false
+		}
+	}
 	return nil
 }
 
@@ -93,13 +107,52 @@ func (s *Simulator) StepTo(t float64) (bool, error) {
 			target = n
 		}
 	}
+	return s.runTo(target), nil
+}
+
+// StepsFor converts a time bound into the integer step target StepTo
+// would derive from it, using the same integer-robust arithmetic.
+// Callers stepping many lanes to shared boundaries (the fleet epoch
+// scheduler) memoize this once per boundary and use StepToCount instead
+// of paying the conversion per lane per epoch.
+func StepsFor(t, step float64) int { return stepCount(t, step) }
+
+// StepToCount advances the simulation through every step with index
+// below n (capped at the step budget), with exactly StepTo's semantics:
+// StepToCount(StepsFor(t, cfg.Step)) for t <= MaxTime is equivalent to
+// StepTo(t).
+func (s *Simulator) StepToCount(n int) (bool, error) {
+	if err := s.Init(); err != nil {
+		return s.finished, err
+	}
+	if s.finished {
+		return true, nil
+	}
+	target := n
+	if target > s.steps {
+		target = s.steps
+	}
+	return s.runTo(target), nil
+}
+
+// runTo is the shared StepTo/StepToCount loop: verbatim steps, with a
+// fast-forward attempt before each one when the run qualifies. The
+// attempt either proves the span ahead inert and jumps (ffwd.go) or
+// moves nothing, so the loop always progresses through stepOnce.
+func (s *Simulator) runTo(target int) bool {
 	for s.next < target && !s.finished {
+		if s.ffwd {
+			s.tryFastForward(target)
+			if s.next >= target {
+				break
+			}
+		}
 		s.stepOnce()
 	}
 	if s.next >= s.steps {
 		s.finished = true
 	}
-	return s.finished, nil
+	return s.finished
 }
 
 // Done reports whether the simulation has finished (horizon reached, job
@@ -135,7 +188,8 @@ func (s *Simulator) Outcome() *Outcome {
 // step.
 type Progress struct {
 	Time            float64 // start time of the last executed step (s)
-	Steps           int     // steps executed so far
+	Steps           int     // steps executed or skipped so far
+	StepsSkipped    int     // steps fast-forwarded over as provably inert
 	CapVoltage      float64 // storage-node voltage (V)
 	CyclesDone      float64 // clock cycles executed
 	EnergyHarvested float64 // energy drawn from the cell so far (J)
@@ -152,6 +206,7 @@ func (s *Simulator) Progress() Progress {
 	return Progress{
 		Time:            st.time,
 		Steps:           s.next,
+		StepsSkipped:    s.stepsSkipped,
 		CapVoltage:      st.cfg.Cap.Voltage(),
 		CyclesDone:      st.cyclesDone,
 		EnergyHarvested: st.outcome.EnergyHarvested,

@@ -24,13 +24,13 @@ func TestStepCountExactMultiples(t *testing.T) {
 	}{
 		{10, 0.001, 10000}, // the motivating case: Ceil gives 10001
 		{1, 1e-3, 1000},
-		{8, 20e-6, 400000},          // ext-weather geometry
-		{52e-3, 2e-6, 26000},        // fig9b/fig11b geometry
-		{2000 * 5e-6, 5e-6, 2000},   // benchguard circuit_run geometry
-		{0.3, 0.1, 3},               // 0.3/0.1 = 2.9999999999999996
-		{800e-3, 2e-6, 400000},      // ext-intermittent geometry
-		{60e-3, 2e-6, 30000},        // fig8 geometry
-		{604800, 1e-3, 604800000},   // a week of milliseconds
+		{8, 20e-6, 400000},        // ext-weather geometry
+		{52e-3, 2e-6, 26000},      // fig9b/fig11b geometry
+		{2000 * 5e-6, 5e-6, 2000}, // benchguard circuit_run geometry
+		{0.3, 0.1, 3},             // 0.3/0.1 = 2.9999999999999996
+		{800e-3, 2e-6, 400000},    // ext-intermittent geometry
+		{60e-3, 2e-6, 30000},      // fig8 geometry
+		{604800, 1e-3, 604800000}, // a week of milliseconds
 		{7 * 1e-3, 1e-3, 7},
 	}
 	for _, tc := range cases {
@@ -163,9 +163,9 @@ func TestStepToBoundariesAgreeWithRun(t *testing.T) {
 // (vcap == 0), and never exceed amplitude * elapsed time.
 func TestAuxEnergyProperties(t *testing.T) {
 	check := func(ampSeed, periodSeed, v0Seed uint8) bool {
-		amp := 1e-3 * (1 + float64(ampSeed%50))           // 1..50 mW: enough to collapse the node
-		period := 0.5e-3 * (1 + float64(periodSeed%8))    // light blink period
-		v0 := 0.2 + 1.5*float64(v0Seed)/255.0             // initial voltage in [0.2, 1.7]
+		amp := 1e-3 * (1 + float64(ampSeed%50))        // 1..50 mW: enough to collapse the node
+		period := 0.5e-3 * (1 + float64(periodSeed%8)) // light blink period
+		v0 := 0.2 + 1.5*float64(v0Seed)/255.0          // initial voltage in [0.2, 1.7]
 		storage, err := cap.New(47e-6, v0, 2.0)
 		if err != nil {
 			t.Fatal(err)

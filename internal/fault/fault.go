@@ -244,4 +244,3 @@ func StreamSeed(seed int64, stream, domain string) int64 {
 func newRand(seed int64, stream, domain string) *rand.Rand {
 	return rand.New(rand.NewSource(StreamSeed(seed, stream, domain)))
 }
-

@@ -6,6 +6,7 @@ package fault
 // scheduling or on how many other streams the same plan feeds.
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -134,6 +135,65 @@ func (b *Brownouts) Wrap(base func(t float64) float64) func(t float64) float64 {
 		}
 		return irr
 	}
+}
+
+// NextEdge returns the first window boundary (start or end) strictly
+// after t, or +Inf when no boundary remains. Between two consecutive
+// boundaries the window membership — and hence Wrap's multiplier — is
+// constant.
+func (b *Brownouts) NextEdge(t float64) float64 {
+	ws := b.windows
+	// First window still relevant: windows are sorted and disjoint, so
+	// everything ending at or before t is behind us.
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].End > t })
+	if i == len(ws) {
+		return math.Inf(1)
+	}
+	if ws[i].Start > t {
+		return ws[i].Start
+	}
+	return ws[i].End
+}
+
+// IrradianceSource pairs an irradiance signal with its event horizon;
+// it matches circuit.EventSource structurally (declared here so this
+// package does not import the circuit it perturbs).
+type IrradianceSource interface {
+	At(t float64) float64
+	NextChange(t float64) float64
+}
+
+// wrappedSource is WrapSource's result: Wrap's exact closure for the
+// signal, with the event horizon clipped at the next window edge.
+type wrappedSource struct {
+	b    *Brownouts
+	at   func(t float64) float64
+	base IrradianceSource
+}
+
+// At evaluates the brownout-attenuated signal.
+func (w *wrappedSource) At(t float64) float64 { return w.at(t) }
+
+// NextChange promises constancy only while both the base signal and the
+// window membership are constant. The product base*Depth is the same
+// float64 at every instant of such a span, because both factors are.
+func (w *wrappedSource) NextChange(t float64) float64 {
+	next := w.base.NextChange(t)
+	if edge := w.b.NextEdge(t); edge < next {
+		next = edge
+	}
+	return next
+}
+
+// WrapSource is Wrap for event sources: the returned source evaluates
+// exactly like Wrap(base.At) — bit for bit, it IS that closure — and
+// additionally bounds NextChange by the next window edge so the circuit
+// stepper can fast-forward through provably-dark fault windows.
+func (b *Brownouts) WrapSource(base IrradianceSource) IrradianceSource {
+	if len(b.windows) == 0 {
+		return base
+	}
+	return &wrappedSource{b: b, at: b.Wrap(base.At), base: base}
 }
 
 // Emit records the resolved schedule as fault.brownout spans (plus one

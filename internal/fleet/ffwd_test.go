@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// darkSpec has a 70% lights-out tail: most of the horizon is exactly-zero
+// sky on every node, the regime event-horizon fast-forward exists for.
+const darkSpec = "n=24,seed=11,horizon=0.02,epoch=1e-3,step=2e-5,dark=0.7"
+
+// renderFleetFF renders the spec with an explicit fast-forward setting.
+func renderFleetFF(t *testing.T, specText string, workers, batch int, noFF bool) []byte {
+	t.Helper()
+	spec, err := ParseSpec(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.Config()
+	cfg.Workers = workers
+	cfg.Batch = batch
+	cfg.NoFastForward = noFF
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetDarkSpecRoundTrip pins the dark knob's canonical-string and
+// validation behavior: dark specs round-trip, dark-free canonical strings
+// are unchanged from before the knob existed (stable cache keys), and
+// out-of-range values are rejected.
+func TestFleetDarkSpecRoundTrip(t *testing.T) {
+	spec, err := ParseSpec(darkSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Dark != 0.7 {
+		t.Errorf("parsed dark = %g, want 0.7", spec.Dark)
+	}
+	if got, want := spec.String(), "n=24,seed=11,horizon=0.02,epoch=0.001,step=2e-05,dark=0.7"; got != want {
+		t.Errorf("canonical string: %q != %q", got, want)
+	}
+	reparsed, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed != spec {
+		t.Errorf("reparse: %+v != %+v", reparsed, spec)
+	}
+
+	plain, err := ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact pre-dark canonical form: existing cache keys must not move.
+	if got, want := plain.String(), "n=24,seed=11,horizon=0.02,epoch=0.001,step=2e-05"; got != want {
+		t.Errorf("dark-free canonical string changed: %q != %q", got, want)
+	}
+
+	for _, bad := range []string{"n=4,dark=1.5", "n=4,dark=-0.1", "n=4,dark=NaN"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted an out-of-range dark", bad)
+		}
+	}
+}
+
+// TestFleetFastForwardParity is the fleet half of the ffwd differential
+// contract: report bytes are identical with fast-forward on and off, at
+// every worker count and batch size, on both dark and ordinary specs.
+func TestFleetFastForwardParity(t *testing.T) {
+	for _, specText := range []string{darkSpec, testSpec} {
+		ref := renderFleetFF(t, specText, 1, 0, true) // verbatim scalar reference
+		for _, workers := range []int{1, 4} {
+			for _, batch := range []int{0, 1, 5} {
+				for _, noFF := range []bool{false, true} {
+					got := renderFleetFF(t, specText, workers, batch, noFF)
+					if !bytes.Equal(got, ref) {
+						t.Errorf("%s workers=%d batch=%d noFF=%v: report differs from verbatim reference",
+							specText, workers, batch, noFF)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFleetDarkActuallySkips opens the engine (same package) to verify the
+// dark fleet really exercises the skip path: with fast-forward on, the
+// population's skipped-step total must be a large share of the dark tail.
+func TestFleetDarkActuallySkips(t *testing.T) {
+	// A longer horizon than darkSpec: nodes must have time to drain to the
+	// collapse fixed point inside the dark tail before skipping can start.
+	spec, err := ParseSpec("n=16,seed=11,horizon=0.3,epoch=0.01,step=2e-4,dark=0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.Config().withDefaults()
+	nodes, err := buildNodes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule(cfg, nodes); err != nil {
+		t.Fatal(err)
+	}
+	var skipped, executed int
+	for _, nd := range nodes {
+		p := nd.sim.Progress()
+		skipped += p.StepsSkipped
+		executed += p.Steps - p.StepsSkipped
+	}
+	if skipped == 0 {
+		t.Fatal("dark fleet skipped no steps; the fast-forward path is dead")
+	}
+	total := skipped + executed
+	if frac := float64(skipped) / float64(total); frac < 0.2 {
+		t.Errorf("only %.1f%% of %d steps skipped; dark tail should dominate", 100*frac, total)
+	}
+
+	// And the verbatim run must skip nothing.
+	cfg.NoFastForward = true
+	vnodes, err := buildNodes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule(cfg, vnodes); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range vnodes {
+		if p := nd.sim.Progress(); p.StepsSkipped != 0 {
+			t.Fatalf("verbatim node %d skipped %d steps", nd.id, p.StepsSkipped)
+		}
+	}
+}
+
+// TestFleetDarkTailIsExactlyZero guards the knob's physics: the zeroed
+// tail must be bitwise zero (not merely small), or the provably-dark
+// fixed point never forms.
+func TestFleetDarkTailIsExactlyZero(t *testing.T) {
+	spec, err := ParseSpec(darkSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.Config().withDefaults()
+	ccfg, _, err := buildNodeConfig(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := (1 - cfg.Dark) * cfg.Horizon
+	src := ccfg.IrradianceSource
+	// Exact zeros start one sample interval past the cut: the sample just
+	// before the first zeroed one is still bright, and interpolation
+	// touching it is nonzero. From the next all-zero pair on, At must be
+	// bitwise +0.
+	sampleStep := cfg.Horizon / 256
+	for _, tt := range []float64{cut + 2*sampleStep, cfg.Horizon * 0.9, cfg.Horizon} {
+		if bits := math.Float64bits(src.At(tt)); bits != 0 {
+			t.Errorf("sky at t=%g has bits %x, want exact +0", tt, bits)
+		}
+	}
+	if v := src.At(cut / 4); v <= 0 {
+		t.Errorf("sky before the cut is %g, want > 0 (the head must stay lit)", v)
+	}
+}

@@ -54,6 +54,15 @@ type Config struct {
 	Epoch float64
 	// Step is the per-node integration timestep (s).
 	Step float64
+	// Dark is the lights-out fraction of the horizon (see Spec.Dark):
+	// every node's sky trace is zeroed for t >= (1-Dark)*Horizon. Part
+	// of the Spec — it changes the physics, not just the execution.
+	Dark float64
+	// NoFastForward forces verbatim stepping in every node simulator,
+	// disabling event-horizon fast-forward. An execution detail like
+	// Workers: the report bytes are identical either way (the ffwd-smoke
+	// CI job and the differential tests enforce it).
+	NoFastForward bool
 	// Workers bounds the goroutines advancing nodes within an epoch;
 	// < 1 means 1. It must not affect the report bytes — that is the
 	// point of the epoch barrier.
@@ -116,7 +125,7 @@ func (cfg Config) withDefaults() Config {
 // resolved), the key under which runs are cached and reported.
 func (cfg Config) Spec() Spec {
 	cfg = cfg.withDefaults()
-	return Spec{N: cfg.Nodes, Seed: cfg.Seed, Horizon: cfg.Horizon, Epoch: cfg.Epoch, Step: cfg.Step}
+	return Spec{N: cfg.Nodes, Seed: cfg.Seed, Horizon: cfg.Horizon, Epoch: cfg.Epoch, Step: cfg.Step, Dark: cfg.Dark}
 }
 
 // Run executes the fleet and returns its report.

@@ -82,6 +82,20 @@ func buildNodeConfig(cfg Config, id int) (circuit.Config, *sched.DeadlineControl
 		sky.Samples[i] *= site
 	}
 
+	// Lights-out tail: with Dark set, samples in the trailing Dark
+	// fraction of the horizon are exactly zero — the cloud model alone
+	// never reaches zero (its attenuation floor is positive), so this is
+	// what puts nodes into the provably-dark fixed point the stepper's
+	// fast-forward needs.
+	if cfg.Dark > 0 {
+		cut := (1 - cfg.Dark) * cfg.Horizon
+		for i := range sky.Samples {
+			if float64(i)*sky.Step >= cut {
+				sky.Samples[i] = 0
+			}
+		}
+	}
+
 	storage, err := cap.New(nodeCapacitance, v0, nodeCapMax)
 	if err != nil {
 		return circuit.Config{}, nil, fmt.Errorf("node %d storage: %w", id, err)
@@ -93,16 +107,20 @@ func buildNodeConfig(cfg Config, id int) (circuit.Config, *sched.DeadlineControl
 		AllowBypass: true,
 	}
 	return circuit.Config{
-		Cell:       pv.NewCell(),
-		Proc:       cpu.NewProcessor(),
-		Reg:        reg.NewSC(),
-		Cap:        storage,
-		Irradiance: sky.At,
-		Controller: ctrl,
-		AuxLoad:    func(float64) float64 { return aux },
-		Step:       cfg.Step,
-		MaxTime:    cfg.Horizon,
-		JobCycles:  cycles,
+		Cell: pv.NewCell(),
+		Proc: cpu.NewProcessor(),
+		Reg:  reg.NewSC(),
+		Cap:  storage,
+		// The trace doubles as the event source (Irradiance is derived
+		// as sky.At), so dead nodes fast-forward through exactly-zero
+		// spans instead of stepping them.
+		IrradianceSource: sky,
+		NoFastForward:    cfg.NoFastForward,
+		Controller:       ctrl,
+		AuxLoad:          func(float64) float64 { return aux },
+		Step:             cfg.Step,
+		MaxTime:          cfg.Horizon,
+		JobCycles:        cycles,
 	}, ctrl, nil
 }
 

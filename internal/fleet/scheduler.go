@@ -66,6 +66,23 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 	lanes := make([]*circuit.Simulator, len(nodes))
 	groupErrs := make([]error, len(nodes))
 	var retired retiredAgg
+
+	// The epoch count is bounded by the spec geometry, so the
+	// epoch→target-step mapping is memoized up front — every lane shares
+	// cfg.Step, so the per-lane float conversion StepTo would repeat
+	// N times per epoch collapses to one table lookup — and the snapshot
+	// series is pre-sized instead of grown epoch by epoch.
+	epochs := circuit.StepsFor(cfg.Horizon, cfg.Epoch)
+	targets := make([]int, epochs)
+	for e := 1; e <= epochs; e++ {
+		tEdge := float64(e) * cfg.Epoch
+		if tEdge > cfg.Horizon {
+			tEdge = cfg.Horizon
+		}
+		targets[e-1] = circuit.StepsFor(tEdge, cfg.Step)
+	}
+	rep.Snapshots = make([]Snapshot, 0, epochs)
+
 	for epoch := 1; len(active) > 0; epoch++ {
 		// A cancelled caller (an abandoned HTTP request, a killed CLI run)
 		// stops at the next barrier instead of simulating to the horizon;
@@ -81,6 +98,14 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 		if tEdge > cfg.Horizon {
 			tEdge = cfg.Horizon
 		}
+		target := 0
+		if epoch <= len(targets) {
+			target = targets[epoch-1]
+		} else {
+			// Horizon/Epoch landed just below an integer, so the snapped
+			// epoch count undershot by one; resolve the straggler edge here.
+			target = circuit.StepsFor(tEdge, cfg.Step)
+		}
 		n := len(active)
 		for i, nd := range active {
 			lanes[i] = nd.sim
@@ -91,7 +116,7 @@ func schedule(cfg Config, nodes []*node) (*Report, error) {
 		}
 		runner.ForEachBatch(n, eff, cfg.Workers, func(lo, hi int) {
 			grp := circuit.Group(lanes[lo:hi])
-			_, groupErrs[lo/eff] = grp.StepToContext(cfg.Ctx, tEdge)
+			_, groupErrs[lo/eff] = grp.StepToCountContext(cfg.Ctx, target)
 		})
 		for g := 0; g < (n+eff-1)/eff; g++ {
 			if err := groupErrs[g]; err != nil {

@@ -17,19 +17,30 @@ type Spec struct {
 	Horizon float64 `json:"horizon_s"`
 	Epoch   float64 `json:"epoch_s"`
 	Step    float64 `json:"step_s"`
+	// Dark is the lights-out fraction of the horizon: the sky trace is
+	// forced to exactly zero for the trailing Dark*Horizon seconds, the
+	// idle-heavy regime where event-horizon fast-forward pays off.
+	// Zero (the default) leaves the weather untouched.
+	Dark float64 `json:"dark,omitempty"`
 }
 
 // String renders the spec in canonical key order. Parsing the result
 // yields the identical spec, so canonical strings are stable cache keys.
+// Dark is printed only when set, keeping pre-existing canonical strings
+// (and the cache keys derived from them) byte-stable.
 func (s Spec) String() string {
-	return fmt.Sprintf("n=%d,seed=%d,horizon=%g,epoch=%g,step=%g",
+	base := fmt.Sprintf("n=%d,seed=%d,horizon=%g,epoch=%g,step=%g",
 		s.N, s.Seed, s.Horizon, s.Epoch, s.Step)
+	if s.Dark > 0 {
+		base += fmt.Sprintf(",dark=%g", s.Dark)
+	}
+	return base
 }
 
 // Config converts the spec back into a runnable configuration. Workers and
 // Tracer are execution details, not part of the spec, and are left unset.
 func (s Spec) Config() Config {
-	return Config{Nodes: s.N, Seed: s.Seed, Horizon: s.Horizon, Epoch: s.Epoch, Step: s.Step}
+	return Config{Nodes: s.N, Seed: s.Seed, Horizon: s.Horizon, Epoch: s.Epoch, Step: s.Step, Dark: s.Dark}
 }
 
 // ParseSpec parses a comma-separated key=value spec, e.g.
@@ -69,8 +80,10 @@ func ParseSpec(text string) (Spec, error) {
 			spec.Epoch, err = strconv.ParseFloat(value, 64)
 		case "step":
 			spec.Step, err = strconv.ParseFloat(value, 64)
+		case "dark":
+			spec.Dark, err = strconv.ParseFloat(value, 64)
 		default:
-			return Spec{}, fmt.Errorf("fleet: unknown spec key %q (want n, seed, horizon, epoch, step)", key)
+			return Spec{}, fmt.Errorf("fleet: unknown spec key %q (want n, seed, horizon, epoch, step, dark)", key)
 		}
 		if err != nil {
 			return Spec{}, fmt.Errorf("fleet: spec key %s: %w", key, err)
@@ -96,6 +109,9 @@ func (s Spec) validate() error {
 	if !posFinite(s.Horizon) || !posFinite(s.Epoch) || !posFinite(s.Step) {
 		return fmt.Errorf("fleet: horizon, epoch and step must be positive and finite (horizon=%g epoch=%g step=%g)",
 			s.Horizon, s.Epoch, s.Step)
+	}
+	if !(s.Dark >= 0 && s.Dark <= 1) { // rejects NaN too
+		return fmt.Errorf("fleet: dark must be in [0, 1], got %g", s.Dark)
 	}
 	return nil
 }

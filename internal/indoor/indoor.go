@@ -124,6 +124,13 @@ func (e *Environment) validate() error {
 // trace of the given duration and sample step. Each sample is the current
 // stage's level times its efficiency derate, flicker-jittered. rng must
 // not be nil.
+//
+// Lights-out stages (Level 0) render as exactly-zero samples — flicker
+// jitter is skipped at zero, so no noise floor creeps in — which the
+// returned trace's NextChange reports as inert spans: a simulator fed the
+// trace as its circuit.Config.IrradianceSource fast-forwards through
+// lights-out dwells instead of stepping them (see internal/circuit's
+// event-horizon stepping).
 func (e *Environment) Trace(rng *rand.Rand, duration, step float64) (*weather.Trace, error) {
 	if duration <= 0 || step <= 0 {
 		return nil, fmt.Errorf("%w: duration=%g step=%g", weather.ErrBadTrace, duration, step)

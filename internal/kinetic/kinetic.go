@@ -101,6 +101,12 @@ func New(opts ...Option) *Harvester {
 // impulse that fired inside the sample interval tops it up, so stacked
 // impulses superpose like charge on the rectifier's buffer. rng must not
 // be nil.
+//
+// Dead time before the first impulse is rendered as exactly-zero samples
+// (the accumulator starts at 0.0 and 0*relax stays 0.0), which the
+// returned trace's NextChange reports as an inert span — a simulator fed
+// the trace as its circuit.Config.IrradianceSource fast-forwards through
+// it instead of stepping (see internal/circuit's event-horizon stepping).
 func (h *Harvester) Trace(rng *rand.Rand, duration, step float64) (*weather.Trace, error) {
 	switch {
 	case duration <= 0 || step <= 0:

@@ -150,16 +150,20 @@ func Run(cfg Config) (*Report, error) {
 		}
 		ctrls[i] = ctrl
 		cfgs[i] = circuit.Config{
-			Cell:       pv.NewCell(),
-			Proc:       cpu.NewProcessor(),
-			Reg:        reg.NewSC(),
-			Cap:        storage,
-			Irradiance: siteIrradiance(src, trims.site),
-			Controller: ctrl,
-			AuxLoad:    aux,
-			Step:       step,
-			MaxTime:    horizon,
-			JobCycles:  spec.Workload.JobCycles,
+			Cell: pv.NewCell(),
+			Proc: cpu.NewProcessor(),
+			Reg:  reg.NewSC(),
+			Cap:  storage,
+			// The shared trace doubles as the event source (Irradiance is
+			// derived from it), so nodes fast-forward through exactly-zero
+			// spans — kinetic dead time, indoor lights-out — instead of
+			// stepping them.
+			IrradianceSource: siteSource(src, trims.site),
+			Controller:       ctrl,
+			AuxLoad:          aux,
+			Step:             step,
+			MaxTime:          horizon,
+			JobCycles:        spec.Workload.JobCycles,
 		}
 		if leds != nil {
 			cfgs[i].Ledger = &leds[i]
@@ -267,14 +271,32 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// siteIrradiance scales the shared source by the node's site exposure
-// without mutating the shared trace.
-func siteIrradiance(src *weather.Trace, site float64) func(float64) float64 {
+// siteSource scales the shared source by the node's site exposure without
+// mutating the shared trace, as a circuit.EventSource: At is bitwise the
+// scaling the engine always applied (site == 1 hands out the trace itself,
+// whose At the derived Irradiance then aliases), and NextChange delegates
+// to the trace — scaling by a positive site maps exact-zero samples to
+// exact zero, so the trace's constancy claims hold for the scaled signal.
+func siteSource(src *weather.Trace, site float64) circuit.EventSource {
 	if site == 1 {
-		return src.At
+		return src
 	}
-	return func(t float64) float64 { return site * src.At(t) }
+	return scaledSource{src: src, site: site}
 }
+
+// scaledSource is siteSource's non-unit-site case.
+type scaledSource struct {
+	src  *weather.Trace
+	site float64
+}
+
+// At returns site * src.At(t), the arithmetic of the pre-EventSource
+// per-node closure.
+func (s scaledSource) At(t float64) float64 { return s.site * s.src.At(t) }
+
+// NextChange delegates to the underlying trace: a span on which the trace
+// is constant is a span on which any fixed multiple of it is constant.
+func (s scaledSource) NextChange(t float64) float64 { return s.src.NextChange(t) }
 
 // auxLoad composes the constant peripheral draw with the radio schedule.
 func auxLoad(base float64, schedTx *radio.Schedule) func(float64) float64 {

@@ -88,6 +88,47 @@ func (dc *DeadlineController) OnStep(s *circuit.State) {
 // OnThreshold implements circuit.Controller.
 func (dc *DeadlineController) OnThreshold(*circuit.State, circuit.ThresholdEvent) {}
 
+// QuiescentUntil implements circuit.Quiescent for event-horizon
+// fast-forward. It claims quiescence only for a node collapsed at
+// exactly 0 V, where command() is provably a latch-free no-op every
+// step: the operating point ignores the commanded targets, re-issued
+// commands are idempotent (vddTarget is already hi(0) = 0, and the
+// varying frequency command is dead state that the first resumed OnStep
+// recomputes from scratch), and the three time-driven latches — sprint
+// handoff, deadline miss, dropout — are either already taken or bound
+// the returned horizon so their firing step executes verbatim.
+func (dc *DeadlineController) QuiescentUntil(s *circuit.State) float64 {
+	now := s.Time()
+	if !s.Halted() || math.Float64bits(s.CapVoltage()) != 0 {
+		return now
+	}
+	if !s.Bypassed() {
+		// Regulated: every skipped command() would walk the dropout
+		// branch. That is only inert when the dropout is already
+		// latched, the run cannot be stopped there, the bypass flip
+		// cannot trigger (vcap > hi must be false, i.e. hi(0) == 0),
+		// and the recomputed vdd = solve(f>0) + margin stays above hi.
+		if dc.DroppedOutAt < 0 || dc.StopOnDropout {
+			return now
+		}
+		if _, hi := s.Regulator().OutputRange(s.CapVoltage()); hi != 0 {
+			return now
+		}
+		if !(dc.SupplyMargin > 0) || !(dc.Cycles > 0) ||
+			!(dc.Deadline > 0) || dc.Sprint >= 1 {
+			return now
+		}
+	}
+	horizon := math.Inf(1)
+	if dc.Sprint > 0 && !dc.sprinting {
+		horizon = dc.Deadline / 2 // the sprint handoff must step verbatim
+	}
+	if !dc.missReported && dc.Deadline < horizon {
+		horizon = dc.Deadline // so must the deadline-miss event
+	}
+	return horizon
+}
+
 // profileRate returns the scheduled clock rate (Hz) at time t.
 func (dc *DeadlineController) profileRate(t float64) float64 {
 	f0 := dc.Cycles / dc.Deadline

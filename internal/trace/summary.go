@@ -56,6 +56,11 @@ type Summary struct {
 	// SimEnd is the latest sim-clock timestamp, the horizon used to close
 	// the final mode dwell of each track.
 	SimEnd float64
+	// StepsSkipped totals the steps event-horizon fast-forward jumped over,
+	// summed from circuit.ffwd instants' "steps" argument across all tracks.
+	// Zero when the trace has no such events (fast-forward off, or no span
+	// ever qualified).
+	StepsSkipped int
 }
 
 // Summarize aggregates a trace.
@@ -121,6 +126,11 @@ func Summarize(events []Event) *Summary {
 				}
 			}
 		case PhaseInstant:
+			if ev.Kind == "circuit.ffwd" {
+				if v, ok := numArg(ev.Args["steps"]); ok {
+					s.StepsSkipped += int(v)
+				}
+			}
 			if mode, ok := ev.Args["mode"].(string); ok && ev.Clock == ClockSim {
 				if prev := lastMode[ev.Track]; prev != nil {
 					commitDwell(dwell, prev, ev.Time)
@@ -208,6 +218,13 @@ func commitDwell(dwell map[modeKey]*ModeDwell, ev *Event, end float64) {
 func (s *Summary) Write(w io.Writer) error {
 	fmt.Fprintf(w, "events: %d (sim %d, wall %d); sim horizon %.6g s\n",
 		s.Events, s.ByClock[ClockSim], s.ByClock[ClockWall], s.SimEnd)
+
+	// Printed only when fast-forward events are present, so summaries of
+	// traces predating the feature (and of verbatim runs) are unchanged.
+	if s.ByKind["circuit.ffwd"] > 0 {
+		fmt.Fprintf(w, "fast-forward: %d steps skipped over %d span(s)\n",
+			s.StepsSkipped, s.ByKind["circuit.ffwd"])
+	}
 
 	kinds := make([]string, 0, len(s.ByKind))
 	for k := range s.ByKind {

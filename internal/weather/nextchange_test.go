@@ -1,0 +1,111 @@
+package weather
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkConstancyClaims brute-forces the EventSource contract over a dense
+// grid: wherever NextChange(t) claims a span, At must return the exact
+// same bit pattern everywhere strictly inside [t, NextChange(t)).
+func checkConstancyClaims(t *testing.T, tr *Trace, lo, hi float64) {
+	t.Helper()
+	const grid = 4000
+	for i := 0; i <= grid; i++ {
+		tt := lo + (hi-lo)*float64(i)/grid
+		next := tr.NextChange(tt)
+		if next <= tt {
+			continue // no claim
+		}
+		want := math.Float64bits(tr.At(tt))
+		end := next
+		if math.IsInf(end, 1) {
+			end = hi + 3*tr.Step // probe past the samples into the clamp
+		}
+		for k := 0; k < 16; k++ {
+			probe := tt + (end-tt)*float64(k)/16.0001
+			if got := math.Float64bits(tr.At(probe)); got != want {
+				t.Fatalf("NextChange(%g) = %g but At(%g) bits %x != At(%g) bits %x",
+					tt, next, probe, got, tt, want)
+			}
+		}
+	}
+}
+
+func TestTraceNextChangeZeroRuns(t *testing.T) {
+	// Bright head, exactly-zero middle run, bright tail: the canonical
+	// dark-span shape. The claim must be sound everywhere and must make
+	// real progress from inside the zero run.
+	tr := NewTrace(1.0, 0.1)
+	for i := range tr.Samples {
+		tr.Samples[i] = 0.8
+	}
+	for i := 3; i <= 7; i++ {
+		tr.Samples[i] = 0
+	}
+	checkConstancyClaims(t, tr, -0.2, 1.2)
+
+	// From early in the zero run the claim must extend well past the
+	// current sample (one interval short of the run's end is allowed).
+	if next := tr.NextChange(0.31); next <= 0.4 {
+		t.Errorf("NextChange(0.31) = %g, want a claim past the next sample", next)
+	}
+	// Interpolating toward a nonzero sample: no claim.
+	if next := tr.NextChange(0.65); next > 0.65 {
+		t.Errorf("NextChange(0.65) = %g, want no claim inside the run's final interval", next)
+	}
+}
+
+func TestTraceNextChangeClamps(t *testing.T) {
+	tr := NewTrace(0.5, 0.1)
+	for i := range tr.Samples {
+		tr.Samples[i] = float64(i) + 1 // strictly increasing, nonzero
+	}
+	// Tail clamp: constant at the last sample forever.
+	if next := tr.NextChange(10); !math.IsInf(next, 1) {
+		t.Errorf("tail clamp NextChange(10) = %g, want +Inf", next)
+	}
+	// Head clamp: constant at the first sample until t = 0.
+	if next := tr.NextChange(-5); next != 0 {
+		t.Errorf("head clamp NextChange(-5) = %g, want 0", next)
+	}
+	// Interpolating nonzero samples: never a claim, even where adjacent
+	// samples happen to be equal (re-rounding is not bitwise constant).
+	for _, tt := range []float64{0.05, 0.1, 0.25, 0.31} {
+		if next := tr.NextChange(tt); next > tt {
+			t.Errorf("NextChange(%g) = %g, want no claim over nonzero samples", tt, next)
+		}
+	}
+	checkConstancyClaims(t, tr, -0.3, 0.8)
+}
+
+func TestTraceNextChangeDegenerate(t *testing.T) {
+	empty := &Trace{}
+	if next := empty.NextChange(0.3); !math.IsInf(next, 1) {
+		t.Errorf("empty trace NextChange = %g, want +Inf (At is constant 0)", next)
+	}
+	flat := &Trace{Samples: []float64{0.7}} // Step 0: At clamps to Samples[0]
+	if next := flat.NextChange(2); !math.IsInf(next, 1) {
+		t.Errorf("zero-step trace NextChange = %g, want +Inf", next)
+	}
+	allZero := NewTrace(0.4, 0.1)
+	if next := allZero.NextChange(0.05); !math.IsInf(next, 1) {
+		t.Errorf("all-zero trace NextChange = %g, want +Inf", next)
+	}
+}
+
+func TestTraceNextChangeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tr := NewTrace(1.0, 0.05)
+		for i := range tr.Samples {
+			if rng.Intn(2) == 0 {
+				tr.Samples[i] = 0
+			} else {
+				tr.Samples[i] = rng.Float64()
+			}
+		}
+		checkConstancyClaims(t, tr, -0.1, 1.1)
+	}
+}

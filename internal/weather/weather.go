@@ -136,6 +136,55 @@ func (tr *Trace) At(t float64) float64 {
 	return tr.Samples[i]*(1-frac) + tr.Samples[i+1]*frac
 }
 
+// NextChange reports how far ahead At is provably constant, satisfying
+// the circuit.EventSource contract: At returns the same float64 bit
+// pattern for every t' in [t, NextChange(t)). +Inf means "never changes
+// again". The claims are deliberately conservative: interpolating
+// between two equal nonzero samples is NOT bitwise constant
+// (v*(1-f)+v*f re-rounds), so constancy is only claimed over the clamp
+// regions (before the first sample, from the last sample on) and over
+// runs of exactly-zero samples, where the interpolation is exactly +0.
+// That is precisely the span that matters: fast-forward only engages on
+// dark (zero-irradiance) spans.
+func (tr *Trace) NextChange(t float64) float64 {
+	n := len(tr.Samples)
+	if n == 0 || !(tr.Step > 0) {
+		return math.Inf(1) // At is a constant function
+	}
+	pos := t / tr.Step
+	if pos >= float64(n-1) {
+		return math.Inf(1) // tail clamp: Samples[n-1] forever
+	}
+	i := 0
+	if pos > 0 {
+		i = int(pos)
+	}
+	if math.Float64bits(tr.Samples[i]) != 0 {
+		if pos < 0 {
+			return 0 // head clamp: Samples[0] until t = 0
+		}
+		return t // interpolating a nonzero sample: no claim
+	}
+	// Extend through the run of exactly-zero samples: every t' strictly
+	// inside it interpolates two +0 samples, which is exactly +0.
+	j := i
+	for j+1 < n && math.Float64bits(tr.Samples[j+1]) == 0 {
+		j++
+	}
+	if j == n-1 {
+		return math.Inf(1) // zero through the end, and the tail clamps
+	}
+	// Claim only up to one sample short of the run's end: within an ulp
+	// of the j*Step boundary, t/Step can round up far enough to land on
+	// sample j and interpolate the nonzero sample j+1, so the run's last
+	// interval is left to verbatim stepping. Below (j-1)*Step the
+	// quotient cannot reach j, and both interpolated samples are +0.
+	if zeroEnd := float64(j-1) * tr.Step; zeroEnd > t {
+		return zeroEnd
+	}
+	return t // inside the run's final interval: no claim
+}
+
 // Duration returns the trace length (s).
 func (tr *Trace) Duration() float64 {
 	if len(tr.Samples) == 0 {
